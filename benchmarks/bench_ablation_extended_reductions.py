@@ -1,0 +1,84 @@
+"""Ablation C — extended reduction techniques in massive B&B (paper §4.1).
+
+The paper credits solving bip52u to combining (restricted) extended
+reductions with the parallel search: "on these modified graphs the
+extended reduction method often can lead to considerable further
+reductions". This ablation toggles the extended tests in the
+ParaSolvers' layered presolve and (a) measures reduction power directly
+on branched subgraphs, (b) compares end-to-end parallel runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import campaign_instance, print_table, table1_instances
+from repro.apps.stp_plugins import SteinerUserPlugins
+from repro.cip.params import ParamSet
+from repro.steiner.reductions import reduce_graph
+from repro.ug import ug
+from repro.ug.config import UGConfig
+from repro.utils import make_rng
+
+
+def _subgraph_reduction_power() -> dict:
+    """Apply branching-style decisions, then reduce with and without the
+    extended tests; report edges removed."""
+    _, graph = campaign_instance()
+    rng = make_rng(1)
+    nonterms = [int(v) for v in graph.alive_vertices() if not graph.is_terminal(int(v))]
+    picks = rng.choice(nonterms, size=min(10, len(nonterms)), replace=False)
+    decided = graph.copy()
+    for i, v in enumerate(picks):
+        if i % 2 == 0:
+            decided.delete_vertex(int(v))
+        else:
+            decided.set_terminal(int(v), True)
+    base = decided.copy()
+    reduce_graph(base, use_extended=False, seed=0)
+    ext = decided.copy()
+    reduce_graph(ext, use_extended=True, seed=0)
+    return {
+        "edges_before": decided.num_alive_edges,
+        "edges_plain": base.num_alive_edges,
+        "edges_extended": ext.num_alive_edges,
+    }
+
+
+def _end_to_end(extended: bool):
+    name, graph = table1_instances()[-1]
+    params = ParamSet().with_changes(**{"steiner/extended_reductions": extended})
+    cfg = UGConfig(time_limit=1e9, objective_epsilon=1 - 1e-6)
+    res = ug(graph.copy(), SteinerUserPlugins(), n_solvers=4, comm="sim",
+             params=params, config=cfg, seed=0, wall_clock_limit=240.0).run()
+    return res
+
+
+def _run_ablation():
+    power = _subgraph_reduction_power()
+    on = _end_to_end(True)
+    off = _end_to_end(False)
+    return power, on, off
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_extended_reductions(benchmark):
+    power, on, off = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    print_table(
+        "Ablation C: extended reductions on branched subgraphs",
+        ["edges before", "after plain", "after extended"],
+        [[power["edges_before"], power["edges_plain"], power["edges_extended"]]],
+    )
+    print_table(
+        "Ablation C: end-to-end hc5u with 4 solvers",
+        ["extended", "objective", "time", "nodes"],
+        [
+            ["on", on.objective, on.stats.computing_time, on.stats.nodes_generated],
+            ["off", off.objective, off.stats.computing_time, off.stats.nodes_generated],
+        ],
+    )
+    # extended tests never reduce less than the plain pipeline
+    assert power["edges_extended"] <= power["edges_plain"]
+    # correctness is unaffected
+    assert on.objective == pytest.approx(off.objective)
+    assert on.solved and off.solved

@@ -1,0 +1,66 @@
+"""Ablation A — layered presolving on/off (paper §2.2).
+
+UG presolves once at the LoadCoordinator and *again* for every received
+subproblem. This ablation disables the second layer for ug[SteinerJack]
+and compares total B&B nodes. Re-presolving subproblems shrinks the
+subgraphs ("the underlying graph can take a very different shape deep in
+the B&B tree") but also diversifies search paths — the paper observes
+both speedups (bip52u) and slowdowns (Mk-P) from this layer, so the
+asserted invariant is correctness, with node counts reported.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_table, table1_instances
+from repro.apps.stp_plugins import SteinerUserPlugins
+from repro.cip.params import ParamSet
+from repro.ug import ug
+from repro.ug.config import UGConfig
+
+
+def _run(graph, layered: bool):
+    params = ParamSet().with_changes(**{"ug/layered_presolve": layered})
+    cfg = UGConfig(time_limit=1e9, objective_epsilon=1 - 1e-6)
+    solver = ug(graph.copy(), SteinerUserPlugins(), n_solvers=4, comm="sim",
+                params=params, config=cfg, seed=0, wall_clock_limit=240.0)
+    res = solver.run()
+    return res
+
+
+def _run_ablation():
+    rows = []
+    for name, graph in table1_instances()[2:]:  # the branching-heavy ones
+        on = _run(graph, layered=True)
+        off = _run(graph, layered=False)
+        rows.append(
+            {
+                "name": name,
+                "nodes_on": on.stats.nodes_generated,
+                "nodes_off": off.stats.nodes_generated,
+                "time_on": on.stats.computing_time,
+                "time_off": off.stats.computing_time,
+                "obj_on": on.objective,
+                "obj_off": off.objective,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_layered_presolve(benchmark):
+    rows = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    print_table(
+        "Ablation A: layered presolving (4 solvers)",
+        ["instance", "nodes layered", "nodes off", "time layered", "time off"],
+        [[r["name"], r["nodes_on"], r["nodes_off"], r["time_on"], r["time_off"]] for r in rows],
+    )
+    for r in rows:
+        assert r["obj_on"] == pytest.approx(r["obj_off"])  # both must be optimal
+    # Node counts may move either way: re-presolving subproblems shrinks
+    # the subgraphs but also *changes the search paths* — the paper reports
+    # exactly this effect ("the additional local presolving performed by
+    # the UG framework leads to different search paths being taken...
+    # which for some reason are worse" on Mk-P). The invariant is
+    # correctness at unchanged optima, asserted above.

@@ -1,0 +1,68 @@
+"""Table 1 — shared-memory ug[SteinerJack, *] scaling on PUC-style instances.
+
+Paper shape to reproduce (§4.1, Table 1): solve times for five PUC
+instances at 1..64 threads; the root-dominated instance (cc3-4p) barely
+scales and caps its active-solver count early, while the branching-heavy
+hypercube instances keep all solvers busy and scale until saturation.
+Also reports root time, max # solvers and first-max-active time, exactly
+like the paper's lower panel. Thread counts are scaled to 1..16 for the
+smaller instances (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_table, run_steiner_ug, table1_instances
+
+THREAD_COUNTS = [1, 2, 4, 8, 16]
+
+
+def _run_table1() -> dict:
+    instances = table1_instances()
+    results: dict[str, dict] = {}
+    for name, graph in instances:
+        per_n = {}
+        meta = {}
+        for n in THREAD_COUNTS:
+            res = run_steiner_ug(graph, n, seed=0)
+            st = res.stats
+            per_n[n] = st.computing_time
+            meta = {
+                "root_time": st.root_time,
+                "max_solvers": st.max_active_solvers,
+                "first_max_active": st.first_max_active_time,
+                "objective": res.objective,
+                "solved": res.solved,
+            }
+        results[name] = {"times": per_n, **meta}
+    return results
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_stp_shared_memory(benchmark):
+    results = benchmark.pedantic(_run_table1, rounds=1, iterations=1)
+
+    names = list(results)
+    rows = []
+    for n in THREAD_COUNTS:
+        rows.append([f"{n} solvers"] + [results[m]["times"][n] for m in names])
+    rows.append(["root time"] + [results[m]["root_time"] for m in names])
+    rows.append(["max # solvers"] + [results[m]["max_solvers"] for m in names])
+    rows.append(["first max active"] + [results[m]["first_max_active"] for m in names])
+    print_table(
+        "Table 1 analogue: shared-memory Steiner scaling (virtual seconds)",
+        ["", *names],
+        rows,
+    )
+
+    for name in names:
+        assert results[name]["solved"], f"{name} did not solve"
+        times = results[name]["times"]
+        # paper shape: using all solvers never loses badly to one solver...
+        assert times[max(THREAD_COUNTS)] <= times[1] * 1.6 + 0.2
+    # ...and the branching-heavy instance genuinely gains from parallelism
+    hc = results["hc5u"]["times"]
+    assert hc[max(THREAD_COUNTS)] < hc[1]
+    # the root-dominated instance cannot use many solvers (cc3-4p shape)
+    assert results["cc3-4p"]["max_solvers"] <= 8

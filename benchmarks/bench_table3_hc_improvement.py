@@ -1,0 +1,90 @@
+"""Table 3 — the hc10p pattern: improving a best-known solution across
+racing restarts.
+
+Paper shape to reproduce (§4.1, Table 3): start from a deliberately
+weakened "best known" solution, run with racing ramp-up under a time
+limit, keep the improved incumbent, and rerun from scratch seeded with
+it ("since the best solution can be used for presolving, propagation and
+heuristics"). Each run must end with a primal value no worse than it
+started with, and the series must strictly improve at least once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import improvement_instance, print_table
+from repro.apps.stp_plugins import SteinerUserPlugins
+from repro.ug import ParaSolution, ug
+from repro.ug.config import UGConfig
+
+RUNS = [(4, 0.5), (8, 0.5), (8, 4.0)]
+
+
+def _run_improvement_series() -> list[dict]:
+    name, graph = improvement_instance()
+
+    # a deliberately weak starting solution (the DIMACS-era best-known):
+    # the pure TM heuristic tree without local search
+    from repro.steiner.heuristics import repeated_shortest_path_heuristic
+
+    start = repeated_shortest_path_heuristic(graph, n_starts=1, seed=99)
+    assert start is not None
+    incumbent = ParaSolution(start[1] + 2.0)  # weakened further by +2
+
+    rows = []
+    for run_idx, (cores, tlimit) in enumerate(RUNS, start=1):
+        cfg = UGConfig(
+            ramp_up="racing",
+            racing_deadline=0.1,
+            racing_open_node_threshold=20,
+            time_limit=tlimit,
+            objective_epsilon=1 - 1e-6,
+        )
+        solver = ug(graph.copy(), SteinerUserPlugins(), n_solvers=cores, comm="sim",
+                    config=cfg, seed=run_idx, wall_clock_limit=240.0)
+        res = solver.run(initial_incumbent=incumbent)
+        st = res.stats
+        rows.append(
+            {
+                "run": run_idx,
+                "cores": cores,
+                "time": st.computing_time,
+                "racing_time": st.racing_time,
+                "primal_init": incumbent.value,
+                "primal_final": min(st.primal_final, incumbent.value),
+                "dual_final": st.dual_final,
+                "nodes": st.nodes_generated,
+                "solved": res.solved,
+            }
+        )
+        if res.incumbent is not None and res.incumbent.value < incumbent.value:
+            incumbent = res.incumbent
+    return rows
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_solution_improvement(benchmark):
+    rows = benchmark.pedantic(_run_improvement_series, rounds=1, iterations=1)
+    print_table(
+        "Table 3 analogue: improving the best-known solution across racing restarts",
+        ["run", "cores", "time", "racing_t", "primal in", "primal out", "dual", "nodes"],
+        [
+            [
+                r["run"],
+                r["cores"],
+                r["time"],
+                r["racing_time"] if r["racing_time"] is not None else "-",
+                r["primal_init"],
+                r["primal_final"],
+                r["dual_final"],
+                r["nodes"],
+            ]
+            for r in rows
+        ],
+    )
+    # each run never loses the seeded solution
+    for r in rows:
+        assert r["primal_final"] <= r["primal_init"] + 1e-9
+    # the series strictly improves on the weakened best-known at least once
+    assert rows[-1]["primal_final"] < rows[0]["primal_init"] - 1e-9

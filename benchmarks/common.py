@@ -1,0 +1,126 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper table/figure has one module in this directory; all run under
+``pytest benchmarks/ --benchmark-only`` and print the regenerated
+rows/series next to the paper's qualitative expectations (EXPERIMENTS.md
+records the mapping). Times are *virtual seconds* of the SimEngine —
+the substitute for the paper's wall-clock on real machines, see
+DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cip.params import ParamSet
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.instances import (
+    bipartite_instance,
+    code_cover_instance,
+    hypercube_instance,
+)
+from repro.ug import UGResult, ug
+from repro.ug.config import UGConfig
+from repro.utils import make_rng
+
+
+# --- instance builders -------------------------------------------------------
+
+def partial_hypercube(dim: int, seed: int, drop: float = 0.15) -> SteinerGraph:
+    """Unit hypercube with a random fraction of edges removed (keeps the
+    reduction-resistance, changes the tree shape)."""
+    g = hypercube_instance(dim, perturbed=False, seed=seed)
+    rng = make_rng(seed)
+    for eid in list(g.alive_edges()):
+        e = g.edges[eid]
+        if rng.random() < drop and g.degree(e.u) > 2 and g.degree(e.v) > 2:
+            g.delete_edge(eid)
+    return g
+
+
+def narrow_costs(g: SteinerGraph, seed: int, lo: int = 10, hi: int = 12) -> SteinerGraph:
+    """Replace costs with narrowly spread integers — the PUC 'p' flavour
+    that keeps instances resistant to bound-based reductions."""
+    rng = make_rng(seed)
+    for e in g.edges:
+        e.cost = float(rng.integers(lo, hi + 1))
+    return g
+
+
+def table1_instances() -> list[tuple[str, SteinerGraph]]:
+    """Five PUC-style instances spanning the paper's Table 1 spectrum,
+    from root-dominated (cc3-4p: no parallelism to exploit) to
+    branching-heavy (hc5u: parallelism pays). Terminal fractions follow
+    the real cc instances (~12%)."""
+    return [
+        ("cc3-4p", narrow_costs(code_cover_instance(3, 4, perturbed=False, seed=2, terminal_fraction=8 / 64), 2)),
+        ("cc3-5u", code_cover_instance(3, 5, perturbed=False, seed=2, terminal_fraction=0.1)),
+        ("hc5u-d15", partial_hypercube(5, 7, drop=0.15)),
+        ("hc6u-d25", partial_hypercube(6, 3, drop=0.25)),
+        ("hc5u", hypercube_instance(5, perturbed=False, seed=1)),
+    ]
+
+
+def campaign_instance() -> tuple[str, SteinerGraph]:
+    """The bip52u analogue for the Table 2 campaign: a unit-cost bipartite
+    instance that resists presolve and needs a deep B&B search (~100
+    sequential nodes at ~25s wall)."""
+    return "bip80u", bipartite_instance(40, 80, degree=3, perturbed=False, seed=7)
+
+
+def improvement_instance() -> tuple[str, SteinerGraph]:
+    """The hc10p analogue for Table 3's solution-improvement series."""
+    return "hc5u-s9", hypercube_instance(5, perturbed=False, seed=9)
+
+
+# --- run helpers -------------------------------------------------------------
+
+STP_PARAMS = ParamSet(heur_frequency=5)
+
+
+def run_steiner_ug(
+    graph: SteinerGraph,
+    n_solvers: int,
+    *,
+    comm: str = "sim",
+    wall_clock_limit: float = 240.0,
+    seed: int = 0,
+    **config_kwargs,
+) -> UGResult:
+    from repro.apps.stp_plugins import SteinerUserPlugins
+
+    config_kwargs.setdefault("time_limit", 1e9)
+    config_kwargs.setdefault("objective_epsilon", 1 - 1e-6)
+    config = UGConfig(**config_kwargs)
+    solver = ug(
+        graph.copy(),
+        SteinerUserPlugins(),
+        n_solvers=n_solvers,
+        comm=comm,
+        params=STP_PARAMS,
+        config=config,
+        seed=seed,
+        wall_clock_limit=wall_clock_limit,
+    )
+    return solver.run()
+
+
+# --- table formatting ---------------------------------------------------------
+
+def print_table(title: str, header: list[str], rows: Iterable[Iterable[object]]) -> None:
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h) for i, h in enumerate(header)]
+    print(f"\n=== {title} ===")
+    print("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,23 @@
+"""repro — parallel combinatorial optimization solvers the easy way.
+
+A Python reproduction of the ug[SCIP-*,*] computational study (Shinano,
+Rehfeldt, Gally; ZIB-Report 19-14 / IPDPS 2019): a CIP branch-and-cut
+framework (:mod:`repro.cip`), an LP substrate (:mod:`repro.lp`), the
+SCIP-Jack-style Steiner tree solver (:mod:`repro.steiner`), the
+SCIP-SDP-style MISDP solver (:mod:`repro.sdp`), the UG parallelization
+framework (:mod:`repro.ug`) and the <200-line application glue
+(:mod:`repro.apps`).
+
+Entry points:
+
+>>> from repro.steiner import SteinerSolver, hypercube_instance
+>>> from repro.apps.stp_plugins import SteinerUserPlugins
+>>> from repro.ug import ug
+
+See README.md for a tour, DESIGN.md for the architecture and
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""ug[SCIP-*] application glue — the paper's <200-line files.
+
+``stp_plugins`` and ``misdp_plugins`` mirror ``stp_plugins.cpp`` (173
+lines) and ``misdp_plugins.cpp`` (106 lines) from the SCIP Optimization
+Suite: all solver logic lives in the sequential packages
+(:mod:`repro.steiner`, :mod:`repro.sdp`); these modules only declare how
+UG builds, feeds and serializes the customized solvers.
+``tests/test_apps_glue.py`` asserts both stay under the 200-line budget.
+"""
+
+__all__ = ["SteinerUserPlugins", "MISDPUserPlugins"]
+
+
+def __getattr__(name: str):
+    # lazy imports keep `import repro.apps.stp_plugins` independent of the
+    # other application's dependency stack
+    if name == "SteinerUserPlugins":
+        from repro.apps.stp_plugins import SteinerUserPlugins
+
+        return SteinerUserPlugins
+    if name == "MISDPUserPlugins":
+        from repro.apps.misdp_plugins import MISDPUserPlugins
+
+        return MISDPUserPlugins
+    raise AttributeError(name)

@@ -1,0 +1,96 @@
+"""ug[MISDP] glue — the misdp_plugins.cpp analogue (must stay <200 LoC).
+
+The racing settings interleave the two solution approaches exactly as
+the paper describes: odd settings are SDP-based (nonlinear B&B), even
+settings are LP-based (eigenvector cutting planes), with emphasis and
+permutation varied within each — racing ramp-up then dynamically picks
+the better relaxation per instance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cip.params import ParamSet, emphasis
+from repro.sdp.model import MISDP
+from repro.sdp.solver import MISDPSolver
+from repro.ug.para_node import ParaNode
+from repro.ug.para_solution import ParaSolution
+from repro.ug.user_plugins import HandleStep, SolverHandle, UserPlugins
+
+
+class MISDPHandle(SolverHandle):
+    """Wraps a MISDPSolver working on one UG subproblem."""
+
+    def __init__(self, solver: MISDPSolver) -> None:
+        self.solver = solver
+
+    def step(self) -> HandleStep:
+        cip = self.solver.cip
+        assert cip is not None
+        out = cip.step()
+        sols = []
+        if out.new_solution is not None:
+            y = out.new_solution.x
+            payload = None if y is None else [float(v) for v in y]
+            sols = [ParaSolution(out.new_solution.value, payload)]
+        return HandleStep(out.finished, out.work, cip.dual_bound(), cip.n_open(), sols, 1)
+
+    def extract_para_node(self) -> ParaNode | None:
+        cip = self.solver.cip
+        assert cip is not None
+        node = cip.extract_open_node()
+        if node is None:
+            return None
+        bounds = self.solver.node_to_subproblem(node)
+        return ParaNode(
+            payload={"bounds": [list(b) for b in bounds]},
+            dual_bound=node.lower_bound,
+            depth=node.depth,
+        )
+
+    def inject_incumbent_value(self, value: float) -> None:
+        assert self.solver.cip is not None
+        self.solver.cip.set_cutoff_value(value)
+
+    def dual_bound(self) -> float:
+        assert self.solver.cip is not None
+        return self.solver.cip.dual_bound()
+
+    def n_open(self) -> int:
+        assert self.solver.cip is not None
+        return self.solver.cip.n_open()
+
+
+class MISDPUserPlugins(UserPlugins):
+    """Declares the MISDP solver to UG."""
+
+    base_solver_name = "MISDP"
+
+    def __init__(self, default_approach: str = "sdp") -> None:
+        self.default_approach = default_approach
+
+    def root_para_node(self, instance: MISDP) -> ParaNode:
+        return ParaNode(payload={"bounds": []})
+
+    def create_handle(self, instance, node, params, seed, incumbent):
+        approach = str(params.get_extra("misdp/approach", self.default_approach))
+        solver = MISDPSolver(instance, params=params, approach=approach, seed=seed)
+        bounds = tuple((int(i), float(lo), float(hi)) for i, lo, hi in node.payload.get("bounds", []))
+        solver.prepare(bounds, cutoff_value=None if incumbent is None else incumbent.value)
+        return MISDPHandle(solver)
+
+    def racing_param_sets(self, n: int, base: ParamSet) -> list[ParamSet]:
+        """Setting k (1-based): odd = SDP-based, even = LP-based."""
+        emphases = ("default", "easycip", "aggressive", "feasibility", "optimality")
+        sets: list[ParamSet] = []
+        for k in range(1, n + 1):
+            approach = "sdp" if k % 2 == 1 else "lp"
+            emph = emphasis(emphases[(k - 1) // 2 % len(emphases)])
+            sets.append(
+                emph.with_changes(
+                    permutation_seed=base.permutation_seed + k,
+                    extras={"misdp/approach": approach},
+                )
+            )
+        return sets

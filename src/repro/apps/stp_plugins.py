@@ -1,0 +1,99 @@
+"""ug[SteinerJack] glue — the stp_plugins.cpp analogue (must stay <200 LoC)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.cip.params import ParamSet
+from repro.cip.result import SolveStatus
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.reductions import reduce_graph
+from repro.steiner.solver import SteinerSolver
+from repro.ug.para_node import ParaNode
+from repro.ug.para_solution import ParaSolution
+from repro.ug.user_plugins import HandleStep, SolverHandle, UserPlugins
+
+
+class SteinerHandle(SolverHandle):
+    """Wraps a SteinerSolver working on one UG subproblem."""
+
+    def __init__(self, solver: SteinerSolver) -> None:
+        self.solver = solver
+        self._done = False
+
+    def step(self) -> HandleStep:
+        if self.solver.cip is None:  # subproblem solved by layered presolve alone
+            sols = []
+            if self.solver._trivial_solution is not None and not self._done:
+                edges, cost = self.solver._trivial_solution
+                sols = [ParaSolution(cost, {"edges": list(edges)})]
+            self._done = True
+            return HandleStep(True, 1e-4, math.inf, 0, sols, 1)
+        out = self.solver.cip.step()
+        sols = []
+        if out.new_solution is not None:
+            sols = [ParaSolution(out.new_solution.value, {"edges": self.solver.extract_original_edges()})]
+        return HandleStep(out.finished, out.work, self.solver.cip.dual_bound(), self.solver.cip.n_open(), sols, 1)
+
+    def extract_para_node(self) -> ParaNode | None:
+        cip = self.solver.cip
+        if cip is None:
+            return None
+        node = cip.extract_open_node()
+        if node is None:
+            return None
+        decisions, fixings = self.solver.node_to_subproblem(node)
+        payload = {"decisions": [list(d) for d in decisions], "fixings": [list(f) for f in fixings]}
+        return ParaNode(payload=payload, dual_bound=node.lower_bound, depth=node.depth)
+
+    def inject_incumbent_value(self, value: float) -> None:
+        if self.solver.cip is not None:
+            self.solver.cip.set_cutoff_value(value)
+
+    def dual_bound(self) -> float:
+        return math.inf if self.solver.cip is None else self.solver.cip.dual_bound()
+
+    def n_open(self) -> int:
+        return 0 if self.solver.cip is None else self.solver.cip.n_open()
+
+
+class SteinerUserPlugins(UserPlugins):
+    """Declares the Steiner solver to UG (ScipUserPlugins analogue)."""
+
+    base_solver_name = "SteinerJack"
+
+    def presolve_instance(self, instance: SteinerGraph, params: ParamSet, seed: int) -> SteinerGraph:
+        graph = instance.copy()
+        reduce_graph(graph, use_extended=bool(params.get_extra("steiner/extended_reductions", False)), seed=seed)
+        return graph
+
+    def root_para_node(self, instance: SteinerGraph) -> ParaNode:
+        return ParaNode(payload={"decisions": [], "fixings": []})
+
+    def create_handle(self, instance, node, params, seed, incumbent):
+        solver = SteinerSolver(instance, params=params, seed=seed)
+        decisions = tuple((int(v), str(d)) for v, d in node.payload.get("decisions", []))
+        fixings = tuple((int(e), int(h), float(lo), float(hi)) for e, h, lo, hi in node.payload.get("fixings", []))
+        solver.prepare(
+            decisions,
+            fixings,
+            cutoff_value=None if incumbent is None else incumbent.value,
+            use_extended=bool(params.get_extra("steiner/extended_reductions", True)),
+            reduce=bool(params.get_extra("ug/layered_presolve", True)),
+            dual_bound_estimate=node.dual_bound,
+        )
+        return SteinerHandle(solver)
+
+    def racing_param_sets(self, n: int, base: ParamSet) -> list[ParamSet]:
+        sets = []
+        selections = ("bestbound", "dfs")
+        for k in range(n):
+            sets.append(
+                base.with_changes(
+                    permutation_seed=k,
+                    node_selection=selections[k % 2],
+                    heur_frequency=(3, 5, 10, 1)[k % 4],
+                    max_sepa_rounds=(12, 4, 20, 8)[k % 4],
+                )
+            )
+        return sets

@@ -1,0 +1,55 @@
+"""Constraint Integer Programming framework — the SCIP analogue.
+
+A :class:`~repro.cip.solver.CIPSolver` is a plugin host: presolvers,
+propagators, separators, heuristics, branching rules, constraint handlers
+and (optionally) a relaxator are registered on it, exactly as SCIP
+applications install user plugins. Both customized solvers of the paper
+— the Steiner solver (:mod:`repro.steiner`) and the MISDP solver
+(:mod:`repro.sdp`) — are built purely out of such plugins, which is what
+lets :mod:`repro.ug` parallelize them with tiny glue files
+(:mod:`repro.apps`).
+"""
+
+from repro.cip.model import Model, Variable, LinearConstraint, VarType
+from repro.cip.solver import CIPSolver
+from repro.cip.result import SolveResult, SolveStatus, Solution
+from repro.cip.params import ParamSet, EMPHASIS_PRESETS
+from repro.cip.plugins import (
+    BranchingRule,
+    ChildSpec,
+    ConstraintHandler,
+    Cut,
+    EventHandler,
+    Heuristic,
+    Presolver,
+    PropagationResult,
+    Propagator,
+    RelaxationResult,
+    Relaxator,
+    Separator,
+)
+
+__all__ = [
+    "Model",
+    "Variable",
+    "LinearConstraint",
+    "VarType",
+    "CIPSolver",
+    "SolveResult",
+    "SolveStatus",
+    "Solution",
+    "ParamSet",
+    "EMPHASIS_PRESETS",
+    "BranchingRule",
+    "ChildSpec",
+    "ConstraintHandler",
+    "Cut",
+    "EventHandler",
+    "Heuristic",
+    "Presolver",
+    "PropagationResult",
+    "Propagator",
+    "RelaxationResult",
+    "Relaxator",
+    "Separator",
+]

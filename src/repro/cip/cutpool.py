@@ -1,0 +1,39 @@
+"""Global cut pool with structural deduplication and age-based eviction."""
+
+from __future__ import annotations
+
+from repro.cip.plugins import Cut
+
+
+class CutPool:
+    """Stores globally valid cuts; deduplicates by coefficient structure."""
+
+    def __init__(self, max_size: int = 100_000) -> None:
+        self._cuts: list[Cut] = []
+        self._keys: set[tuple] = set()
+        self._max_size = max_size
+
+    def add(self, cut: Cut) -> bool:
+        """Add ``cut`` unless an identical one is present; True if stored."""
+        key = (cut.coefs, round(cut.lhs, 9), round(cut.rhs, 9))
+        if key in self._keys:
+            return False
+        if len(self._cuts) >= self._max_size:
+            # evict the oldest third; cuts are regenerable by separators
+            drop = len(self._cuts) // 3
+            for old in self._cuts[:drop]:
+                self._keys.discard((old.coefs, round(old.lhs, 9), round(old.rhs, 9)))
+            self._cuts = self._cuts[drop:]
+        self._keys.add(key)
+        self._cuts.append(cut)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._cuts)
+
+    def __iter__(self):
+        return iter(self._cuts)
+
+    def clear(self) -> None:
+        self._cuts.clear()
+        self._keys.clear()

@@ -1,0 +1,77 @@
+"""Generic primal heuristics: rounding and LP diving."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cip.node import Node
+from repro.cip.plugins import Heuristic
+from repro.cip.solver import CIPSolver
+from repro.lp import LinearProgram, LPStatus, solve_lp
+
+
+class RoundingHeuristic(Heuristic):
+    """Round the relaxation solution to the nearest integers and check."""
+
+    name = "rounding"
+    priority = 10
+
+    def run(self, solver: CIPSolver, node: Node, x: np.ndarray | None) -> None:
+        if x is None:
+            return
+        cand = np.asarray(x, dtype=float).copy()
+        for j in solver.model.integer_indices:
+            lo, hi = solver.local_bounds(j)
+            cand[j] = min(max(round(float(cand[j])), math.ceil(lo - solver.tol.feas)), math.floor(hi + solver.tol.feas))
+        value = solver.model.objective_value(cand)
+        if solver.add_solution(value, cand, check=True):
+            solver.stats.heuristic_solutions += 1
+
+
+class DivingHeuristic(Heuristic):
+    """Iteratively fix the least-fractional variable and re-solve the LP.
+
+    A bounded-depth LP dive; stops at the first infeasibility. Fixing
+    order uses the solver permutation for tie-breaking, so racing settings
+    genuinely diversify the dives.
+    """
+
+    name = "diving"
+    priority = 5
+
+    def __init__(self, max_depth: int = 30) -> None:
+        self.max_depth = max_depth
+
+    def run(self, solver: CIPSolver, node: Node, x: np.ndarray | None) -> None:
+        if x is None or solver.relaxator is not None:
+            return
+        model = solver.model
+        lp = LinearProgram()
+        for v in model.variables:
+            lo, hi = solver.local_bounds(v.index)
+            lp.add_variable(lo, hi, v.obj, v.name)
+        for cons in model.constraints:
+            lp.add_row(cons.coefs, cons.lhs, cons.rhs, cons.name)
+        for cut in solver.cutpool:
+            lp.add_row(dict(cut.coefs), cut.lhs, cut.rhs, cut.name)
+
+        cur = np.asarray(x, dtype=float).copy()
+        perm = {j: r for r, j in enumerate(solver.rng.permutation(model.num_variables))}
+        for _depth in range(self.max_depth):
+            frac = [j for j in model.integer_indices if not solver.tol.is_integral(float(cur[j]))]
+            if not frac:
+                value = model.objective_value(cur)
+                if solver.add_solution(value, cur, check=True):
+                    solver.stats.heuristic_solutions += 1
+                return
+            j = min(frac, key=lambda k: (min(cur[k] - math.floor(cur[k]), math.ceil(cur[k]) - cur[k]), perm[k]))
+            target = float(round(cur[j]))
+            lo, hi = lp.get_bounds(j)
+            target = min(max(target, lo), hi)
+            lp.set_bounds(j, target, target)
+            sol = solve_lp(lp, solver.params.lp_backend)
+            if sol.status is not LPStatus.OPTIMAL:
+                return
+            cur = sol.x

@@ -1,0 +1,150 @@
+"""CIP model container: variables, linear constraints, problem payload.
+
+Per Definition 1 of the paper a CIP couples an objective, constraints and
+an integrality set; non-linear constraint classes (Steiner cuts, SDP
+blocks) are owned by :class:`~repro.cip.plugins.ConstraintHandler`
+plugins, while this container stores what every CIP shares: columns and
+explicit linear rows. ``Model.data`` carries the problem-specific payload
+(a Steiner graph, an MISDP block structure) that the plugins interpret.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+INF = math.inf
+
+
+class VarType(enum.Enum):
+    CONTINUOUS = "C"
+    INTEGER = "I"
+    BINARY = "B"
+
+
+@dataclass
+class Variable:
+    """A model column."""
+
+    index: int
+    name: str
+    vtype: VarType
+    lb: float
+    ub: float
+    obj: float
+
+    @property
+    def is_integral(self) -> bool:
+        return self.vtype is not VarType.CONTINUOUS
+
+
+@dataclass
+class LinearConstraint:
+    """A linear row ``lhs <= coefs . x <= rhs``."""
+
+    name: str
+    coefs: dict[int, float]
+    lhs: float
+    rhs: float
+
+
+@dataclass
+class Model:
+    """A minimisation CIP.
+
+    ``obj_offset`` lets transformations (maximisation flips, fixed-cost
+    contractions in the Steiner presolve) keep reporting objective values
+    in the original problem's units.
+    """
+
+    name: str = "cip"
+    variables: list[Variable] = field(default_factory=list)
+    constraints: list[LinearConstraint] = field(default_factory=list)
+    obj_offset: float = 0.0
+    obj_sense: int = 1  # +1: values reported as-is; -1: original was a maximisation
+    data: Any = None
+
+    def add_variable(
+        self,
+        name: str = "",
+        vtype: VarType = VarType.CONTINUOUS,
+        lb: float = 0.0,
+        ub: float = INF,
+        obj: float = 0.0,
+    ) -> Variable:
+        if vtype is VarType.BINARY:
+            lb, ub = max(lb, 0.0), min(ub, 1.0)
+        if lb > ub:
+            raise ModelError(f"variable {name!r}: lb {lb} > ub {ub}")
+        var = Variable(len(self.variables), name or f"x{len(self.variables)}", vtype, float(lb), float(ub), float(obj))
+        self.variables.append(var)
+        return var
+
+    def add_constraint(
+        self,
+        coefs: dict[int, float],
+        lhs: float = -INF,
+        rhs: float = INF,
+        name: str = "",
+    ) -> LinearConstraint:
+        if lhs > rhs:
+            raise ModelError(f"constraint {name!r}: lhs {lhs} > rhs {rhs}")
+        n = len(self.variables)
+        for j in coefs:
+            if not 0 <= j < n:
+                raise ModelError(f"constraint {name!r} references unknown variable {j}")
+        cons = LinearConstraint(name or f"c{len(self.constraints)}", dict(coefs), float(lhs), float(rhs))
+        self.constraints.append(cons)
+        return cons
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def integer_indices(self) -> list[int]:
+        return [v.index for v in self.variables if v.is_integral]
+
+    def objective_value(self, x: np.ndarray) -> float:
+        """Internal (minimisation) objective at ``x`` including the offset."""
+        val = self.obj_offset
+        for v in self.variables:
+            if v.obj:
+                val += v.obj * float(x[v.index])
+        return val
+
+    def external_objective(self, internal_value: float) -> float:
+        """Map an internal objective value to the original problem's sense."""
+        return self.obj_sense * internal_value
+
+    def check_linear(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """Check bounds and explicit linear rows at ``x``."""
+        for v in self.variables:
+            if x[v.index] < v.lb - tol or x[v.index] > v.ub + tol:
+                return False
+        for cons in self.constraints:
+            act = sum(c * float(x[j]) for j, c in cons.coefs.items())
+            if act < cons.lhs - tol or act > cons.rhs + tol:
+                return False
+        return True
+
+    def copy(self) -> "Model":
+        """Deep copy of columns and rows; ``data`` is shared by reference.
+
+        Problem payloads are treated as immutable by convention — plugins
+        that need to mutate a graph (Steiner presolve) copy it themselves.
+        """
+        m = Model(self.name, obj_offset=self.obj_offset, obj_sense=self.obj_sense, data=self.data)
+        m.variables = [Variable(v.index, v.name, v.vtype, v.lb, v.ub, v.obj) for v in self.variables]
+        m.constraints = [LinearConstraint(c.name, dict(c.coefs), c.lhs, c.rhs) for c in self.constraints]
+        return m

@@ -1,0 +1,73 @@
+"""Branch-and-bound node records.
+
+A node stores *cumulative* bound changes relative to the presolved root
+and a cumulative problem-specific ``local_data`` record (e.g. the Steiner
+vertex decisions). Keeping the full delta per node costs memory but makes
+nodes self-contained — which is exactly what UG needs to extract a node
+into a solver-independent :class:`~repro.ug.para_node.ParaNode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Node:
+    """One open subproblem of the branch-and-bound tree.
+
+    ``local_rows`` are constraint-branching rows (cumulative): linear
+    inequalities valid only in this subtree, appended to the node LP —
+    this is the CIP-side half of the constraint-branching support that
+    ug-0.8.6 added for SCIP-Jack.
+    """
+
+    node_id: int
+    parent_id: int
+    depth: int
+    lower_bound: float
+    bound_changes: dict[int, tuple[float, float]] = field(default_factory=dict)
+    local_data: dict[str, Any] = field(default_factory=dict)
+    local_rows: tuple[Any, ...] = ()
+
+    def child(
+        self,
+        node_id: int,
+        bound_changes: dict[int, tuple[float, float]],
+        local_update: dict[str, Any],
+        estimate: float | None,
+        local_rows: tuple[Any, ...] = (),
+    ) -> "Node":
+        """Create a child inheriting this node's cumulative state."""
+        merged_bounds = dict(self.bound_changes)
+        for j, (lo, hi) in bound_changes.items():
+            if j in merged_bounds:
+                olo, ohi = merged_bounds[j]
+                merged_bounds[j] = (max(olo, lo), min(ohi, hi))
+            else:
+                merged_bounds[j] = (lo, hi)
+        merged_local = _merge_local(self.local_data, local_update)
+        est = self.lower_bound if estimate is None else max(estimate, self.lower_bound)
+        return Node(
+            node_id,
+            self.node_id,
+            self.depth + 1,
+            est,
+            merged_bounds,
+            merged_local,
+            self.local_rows + tuple(local_rows),
+        )
+
+
+def _merge_local(base: dict[str, Any], update: dict[str, Any]) -> dict[str, Any]:
+    """Merge a local-data update: tuples/lists append, scalars replace."""
+    merged = dict(base)
+    for key, value in update.items():
+        if key in merged and isinstance(merged[key], tuple) and isinstance(value, tuple):
+            merged[key] = merged[key] + value
+        elif key in merged and isinstance(merged[key], list) and isinstance(value, list):
+            merged[key] = merged[key] + value
+        else:
+            merged[key] = value
+    return merged

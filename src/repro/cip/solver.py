@@ -1,0 +1,617 @@
+"""The CIP branch-cut-and-propagate solver.
+
+The solver is a plugin host (cf. :mod:`repro.cip.plugins`) around a
+classical LP/relaxator-based branch-and-bound loop. Two entry styles:
+
+* :meth:`CIPSolver.solve` — run to completion (sequential use), and
+* the step API (:meth:`setup` + :meth:`step`) — process one node at a
+  time, which is what lets :mod:`repro.ug` drive many solver instances
+  from its LoadCoordinator event loop: a ParaSolver interleaves ``step``
+  calls with message handling exactly as Algorithm 2 of the paper
+  interleaves solving with communication.
+
+Deterministic *work units* (an abstract cost measured from LP/relaxator
+iteration counts) are accumulated per step; the UG virtual-time backend
+turns them into simulated wall-clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.cip.cutpool import CutPool
+from repro.cip.model import Model, VarType
+from repro.cip.node import Node
+from repro.cip.params import ParamSet
+from repro.cip.plugins import (
+    BranchingRule,
+    ConstraintHandler,
+    Cut,
+    EventHandler,
+    Heuristic,
+    Plugin,
+    PropagationStatus,
+    Presolver,
+    Propagator,
+    RelaxationResult,
+    RelaxationStatus,
+    Relaxator,
+    Separator,
+)
+from repro.cip.result import SolveResult, SolveStats, SolveStatus, Solution
+from repro.cip.tree import NodeTree
+from repro.exceptions import PluginError
+from repro.lp import LinearProgram, LPStatus, solve_lp
+from repro.utils import DEFAULT_TOL, Stopwatch, Tolerances, make_rng
+
+# deterministic work-unit model (abstract seconds)
+WORK_PER_NODE = 1e-3
+WORK_PER_LP_ITER = 2e-4
+WORK_PER_CUT = 5e-5
+
+
+@dataclass
+class StepOutcome:
+    """Result of processing one node via the step API."""
+
+    finished: bool
+    status: SolveStatus
+    work: float
+    new_solution: Solution | None = None
+
+
+class CIPSolver:
+    """Branch-cut-and-propagate solver over a :class:`~repro.cip.model.Model`."""
+
+    def __init__(
+        self,
+        model: Model,
+        params: ParamSet | None = None,
+        tol: Tolerances = DEFAULT_TOL,
+    ) -> None:
+        self.model = model
+        self.params = params or ParamSet()
+        self.tol = tol
+
+        self.presolvers: list[Presolver] = []
+        self.propagators: list[Propagator] = []
+        self.separators: list[Separator] = []
+        self.heuristics: list[Heuristic] = []
+        self.branching_rules: list[BranchingRule] = []
+        self.conshdlrs: list[ConstraintHandler] = []
+        self.event_handlers: list[EventHandler] = []
+        self.relaxator: Relaxator | None = None
+
+        self.stats = SolveStats()
+        self.cutpool = CutPool()
+        self.incumbent: Solution | None = None
+        self.rng = make_rng(self.params.permutation_seed)
+
+        self._tree: NodeTree | None = None
+        self._node_counter = 0
+        self._presolved = False
+        self._clock = Stopwatch()
+        self._current_node: Node | None = None
+        self._local_lb: np.ndarray | None = None
+        self._local_ub: np.ndarray | None = None
+        self._processed_any = False
+        self._root_processed = False
+
+    # -- plugin registration ------------------------------------------------
+
+    def _include(self, plugin_list: list, plugin: Plugin) -> None:
+        if any(p.name == plugin.name for p in plugin_list):
+            raise PluginError(f"plugin {plugin.name!r} registered twice")
+        plugin_list.append(plugin)
+        plugin_list.sort(key=lambda p: -p.priority)
+
+    def include_presolver(self, p: Presolver) -> None:
+        self._include(self.presolvers, p)
+
+    def include_propagator(self, p: Propagator) -> None:
+        self._include(self.propagators, p)
+
+    def include_separator(self, p: Separator) -> None:
+        self._include(self.separators, p)
+
+    def include_heuristic(self, p: Heuristic) -> None:
+        self._include(self.heuristics, p)
+
+    def include_branching_rule(self, p: BranchingRule) -> None:
+        self._include(self.branching_rules, p)
+
+    def include_constraint_handler(self, p: ConstraintHandler) -> None:
+        self._include(self.conshdlrs, p)
+
+    def include_event_handler(self, p: EventHandler) -> None:
+        self._include(self.event_handlers, p)
+
+    def set_relaxator(self, r: Relaxator) -> None:
+        if self.relaxator is not None:
+            raise PluginError("a relaxator is already installed")
+        self.relaxator = r
+
+    # -- presolve ------------------------------------------------------------
+
+    def presolve(self) -> int:
+        """Run presolver plugins to a fixpoint; returns total reductions.
+
+        Called once before the tree search — and called *again* inside
+        every ParaSolver on each received subproblem (layered presolving).
+        """
+        if not self.params.presolve:
+            self._presolved = True
+            return 0
+        total = 0
+        for _round in range(20):
+            round_reductions = 0
+            for pre in self.presolvers:
+                round_reductions += pre.presolve(self)
+            total += round_reductions
+            if round_reductions == 0:
+                break
+        self.stats.presolve_reductions += total
+        self._presolved = True
+        return total
+
+    # -- incumbent management --------------------------------------------
+
+    @property
+    def cutoff_bound(self) -> float:
+        """Nodes with lower bound >= this value are pruned."""
+        if self.incumbent is None:
+            return math.inf
+        val = self.incumbent.value
+        if getattr(self.model, "objective_integral", False):
+            return val - 1.0 + self.tol.feas
+        return val - self.tol.optimality * max(1.0, abs(val))
+
+    def add_solution(
+        self,
+        value: float,
+        x: np.ndarray | None = None,
+        data: Any = None,
+        check: bool = True,
+    ) -> bool:
+        """Offer a primal solution; keeps it if it improves the incumbent.
+
+        With ``check=True`` and an available ``x``, linear rows and
+        constraint handlers validate the point first.
+        """
+        if self.incumbent is not None and value >= self.incumbent.value - self.tol.eps:
+            return False
+        if check and x is not None:
+            if not self.model.check_linear(x, self.tol.feas):
+                return False
+            if not all(h.check(self, x) for h in self.conshdlrs):
+                return False
+        self.incumbent = Solution(value, None if x is None else np.asarray(x, dtype=float).copy(), data)
+        if self._tree is not None:
+            self.stats.nodes_pruned += self._tree.prune_worse_than(self.cutoff_bound)
+        for ev in self.event_handlers:
+            ev.on_new_incumbent(self, value, data)
+        return True
+
+    def set_cutoff_value(self, value: float) -> None:
+        """Install an externally known primal bound (UG incumbent sharing)."""
+        if self.incumbent is None or value < self.incumbent.value:
+            self.incumbent = Solution(value, None, None)
+            if self._tree is not None:
+                self.stats.nodes_pruned += self._tree.prune_worse_than(self.cutoff_bound)
+
+    # -- bounds at the current node ----------------------------------------
+
+    def local_bounds(self, j: int) -> tuple[float, float]:
+        assert self._local_lb is not None and self._local_ub is not None
+        return float(self._local_lb[j]), float(self._local_ub[j])
+
+    def tighten_lb(self, j: int, value: float) -> bool:
+        """Raise the local lower bound of variable ``j``; True if changed."""
+        assert self._local_lb is not None
+        if value > self._local_lb[j] + self.tol.eps:
+            self._local_lb[j] = value
+            self.stats.propagation_tightenings += 1
+            return True
+        return False
+
+    def tighten_ub(self, j: int, value: float) -> bool:
+        """Lower the local upper bound of variable ``j``; True if changed."""
+        assert self._local_ub is not None
+        if value < self._local_ub[j] - self.tol.eps:
+            self._local_ub[j] = value
+            self.stats.propagation_tightenings += 1
+            return True
+        return False
+
+    @property
+    def current_node(self) -> Node | None:
+        return self._current_node
+
+    # -- tree state -----------------------------------------------------------
+
+    def setup(
+        self,
+        root_bounds: dict[int, tuple[float, float]] | None = None,
+        root_local_data: dict[str, Any] | None = None,
+        root_estimate: float = -math.inf,
+    ) -> None:
+        """Initialise the tree with a single root node.
+
+        ``root_bounds``/``root_local_data`` seed the root with a received
+        subproblem (UG ParaSolver use); plain solves pass nothing.
+        """
+        if not self._presolved:
+            self.presolve()
+        self._tree = NodeTree(self.params.node_selection)
+        root = Node(0, -1, 0, root_estimate, dict(root_bounds or {}), dict(root_local_data or {}))
+        self._node_counter = 1
+        self._tree.push(root)
+        self._processed_any = False
+        self._root_processed = False
+
+    def n_open(self) -> int:
+        return 0 if self._tree is None else len(self._tree)
+
+    def dual_bound(self) -> float:
+        """Global dual (lower) bound of the current search state."""
+        if self._tree is None:
+            return -math.inf
+        bounds = [self._tree.best_bound()]
+        if self._current_node is not None:
+            bounds.append(self._current_node.lower_bound)
+        bound = min(bounds)
+        if math.isinf(bound) and bound > 0:  # tree empty: proven
+            return self.incumbent.value if self.incumbent is not None else math.inf
+        return bound
+
+    def extract_open_node(self) -> Node | None:
+        """Remove the heaviest open node (UG load balancing)."""
+        if self._tree is None:
+            return None
+        return self._tree.extract_heaviest()
+
+    def open_nodes(self) -> list[Node]:
+        return [] if self._tree is None else self._tree.nodes()
+
+    def inject_node(self, node: Node) -> None:
+        """Push an externally supplied node into the tree."""
+        assert self._tree is not None
+        node.node_id = self._node_counter
+        self._node_counter += 1
+        self._tree.push(node)
+
+    # -- the step API -----------------------------------------------------------
+
+    def step(self) -> StepOutcome:
+        """Process one branch-and-bound node; returns what happened."""
+        if self._tree is None:
+            raise PluginError("setup() must be called before step()")
+        work = 0.0
+        new_solution: Solution | None = None
+        cutoff = self.cutoff_bound
+
+        while self._tree:
+            node = self._tree.pop()
+            if node.lower_bound >= cutoff:
+                self.stats.nodes_pruned += 1
+                continue
+            break
+        else:
+            status = SolveStatus.OPTIMAL if self.incumbent is not None else SolveStatus.INFEASIBLE
+            return StepOutcome(True, status, 0.0)
+
+        self._current_node = node
+        is_root = not self._root_processed
+        incumbent_before = self.incumbent
+        work += WORK_PER_NODE
+        try:
+            work += self._process_node(node, is_root)
+        finally:
+            self._current_node = None
+            self._processed_any = True
+            self._root_processed = True
+        self.stats.nodes_processed += 1
+        self.stats.total_work += work
+        if is_root:
+            self.stats.root_work = work
+            self.stats.root_bound = self.dual_bound()
+        if self.incumbent is not incumbent_before:
+            new_solution = self.incumbent
+
+        if not self._tree:
+            status = SolveStatus.OPTIMAL if self.incumbent is not None else SolveStatus.INFEASIBLE
+            return StepOutcome(True, status, work, new_solution)
+        if self.incumbent is not None:
+            gap = self.tol.rel_gap(self.incumbent.value, self.dual_bound())
+            if gap <= self.params.gap_limit:
+                return StepOutcome(True, SolveStatus.GAP_LIMIT, work, new_solution)
+        return StepOutcome(False, SolveStatus.UNKNOWN, work, new_solution)
+
+    # -- node processing internals -----------------------------------------
+
+    def _install_local_bounds(self, node: Node) -> bool:
+        n = self.model.num_variables
+        self._local_lb = np.array([v.lb for v in self.model.variables], dtype=float)
+        self._local_ub = np.array([v.ub for v in self.model.variables], dtype=float)
+        for j, (lo, hi) in node.bound_changes.items():
+            if j >= n:
+                continue
+            self._local_lb[j] = max(self._local_lb[j], lo)
+            self._local_ub[j] = min(self._local_ub[j], hi)
+        return bool(np.all(self._local_lb <= self._local_ub + self.tol.feas))
+
+    def _propagate(self, node: Node) -> PropagationStatus:
+        if not self.params.propagation:
+            return PropagationStatus.UNCHANGED
+        overall = PropagationStatus.UNCHANGED
+        for _round in range(5):
+            changed = False
+            for prop in self.propagators:
+                res = prop.propagate(self, node)
+                if res.status is PropagationStatus.INFEASIBLE:
+                    return PropagationStatus.INFEASIBLE
+                if res.status is PropagationStatus.REDUCED:
+                    changed = True
+            for h in self.conshdlrs:
+                res = h.propagate(self, node)
+                if res.status is PropagationStatus.INFEASIBLE:
+                    return PropagationStatus.INFEASIBLE
+                if res.status is PropagationStatus.REDUCED:
+                    changed = True
+            if changed:
+                overall = PropagationStatus.REDUCED
+            else:
+                break
+            assert self._local_lb is not None and self._local_ub is not None
+            if np.any(self._local_lb > self._local_ub + self.tol.feas):
+                return PropagationStatus.INFEASIBLE
+        return overall
+
+    def _build_lp(self) -> LinearProgram:
+        assert self._local_lb is not None and self._local_ub is not None
+        lp = LinearProgram()
+        for v in self.model.variables:
+            lp.add_variable(self._local_lb[v.index], self._local_ub[v.index], v.obj, v.name)
+        for cons in self.model.constraints:
+            lp.add_row(cons.coefs, cons.lhs, cons.rhs, cons.name)
+        for cut in self.cutpool:
+            lp.add_row(dict(cut.coefs), cut.lhs, cut.rhs, cut.name)
+        node = self._current_node
+        if node is not None:
+            for row in node.local_rows:
+                lp.add_row(dict(row.coefs), row.lhs, row.rhs, row.name)
+        return lp
+
+    def _solve_relaxation(self, node: Node, is_root: bool) -> RelaxationResult:
+        if self.relaxator is not None:
+            res = self.relaxator.solve(self, node)
+            self.stats.lp_solves += 1
+            return res
+        lp = self._build_lp()
+        sol = solve_lp(lp, self.params.lp_backend)
+        self.stats.lp_solves += 1
+        self.stats.lp_iterations += sol.iterations
+        work = WORK_PER_LP_ITER * max(sol.iterations, 1)
+        if sol.status is LPStatus.INFEASIBLE:
+            return RelaxationResult(RelaxationStatus.INFEASIBLE, math.inf, None, work)
+        if sol.status is LPStatus.UNBOUNDED:
+            return RelaxationResult(RelaxationStatus.UNBOUNDED, -math.inf, None, work)
+        if sol.status is not LPStatus.OPTIMAL:
+            return RelaxationResult(RelaxationStatus.FAILED, -math.inf, None, work)
+        bound = sol.objective + self.model.obj_offset
+        return RelaxationResult(RelaxationStatus.OPTIMAL, bound, sol.x, work)
+
+    def _separate(self, node: Node, x: np.ndarray, is_root: bool) -> tuple[int, float]:
+        """One separation round; returns (#cuts added, work)."""
+        if not self.params.separation:
+            return 0, 0.0
+        added = 0
+        work = 0.0
+        budget = self.params.max_cuts_per_round
+        for plugin in list(self.conshdlrs) + list(self.separators):
+            if added >= budget:
+                break
+            sep = getattr(plugin, "separate", None)
+            if sep is None:
+                continue
+            cuts = sep(self, node, x)
+            for cut in cuts:
+                if added >= budget:
+                    break
+                if cut.violation(x) <= self.tol.feas:
+                    continue
+                if self.cutpool.add(cut):
+                    added += 1
+                    work += WORK_PER_CUT
+        self.stats.cuts_added += added
+        self.stats.sepa_rounds += 1
+        return added, work
+
+    def _fractional_candidates(self, x: np.ndarray) -> list[int]:
+        frac = [
+            j
+            for j in self.model.integer_indices
+            if not self.tol.is_integral(float(x[j]))
+        ]
+        return frac
+
+    def _check_candidate(self, x: np.ndarray) -> bool:
+        return all(h.check(self, x) for h in self.conshdlrs)
+
+    def _run_heuristics(self, node: Node, x: np.ndarray | None, is_root: bool) -> None:
+        freq = self.params.heur_frequency
+        if not self.params.heuristics or freq <= 0:
+            return
+        if not is_root and self.stats.nodes_processed % freq != 0:
+            return
+        for heur in self.heuristics:
+            heur.run(self, node, x)
+
+    def _branch(self, node: Node, x: np.ndarray | None) -> int:
+        rules = self.branching_rules
+        if self.params.branching_rule:
+            rules = [r for r in rules if r.name == self.params.branching_rule] or rules
+        for rule in rules:
+            children = rule.branch(self, node, x)
+            if children:
+                assert self._tree is not None
+                n_pushed = 0
+                for spec in children:
+                    est = spec.estimate if spec.estimate is not None else node.lower_bound
+                    child = node.child(
+                        self._node_counter,
+                        spec.bound_changes,
+                        spec.local_update,
+                        est,
+                        tuple(spec.local_rows),
+                    )
+                    self._node_counter += 1
+                    if child.lower_bound < self.cutoff_bound:
+                        self._tree.push(child)
+                        n_pushed += 1
+                    else:
+                        self.stats.nodes_pruned += 1
+                self.stats.nodes_created += n_pushed
+                return n_pushed
+        raise PluginError("no branching rule produced children for an unresolved node")
+
+    def _process_node(self, node: Node, is_root: bool) -> float:
+        work = 0.0
+        if not self._install_local_bounds(node):
+            self.stats.nodes_pruned += 1
+            return work
+        if self._propagate(node) is PropagationStatus.INFEASIBLE:
+            self.stats.nodes_pruned += 1
+            return work
+
+        max_rounds = self.params.max_sepa_rounds_root if is_root else self.params.max_sepa_rounds
+        x: np.ndarray | None = None
+        bound = node.lower_bound
+        rounds = 0
+        while True:
+            rel = self._solve_relaxation(node, is_root)
+            work += rel.work
+            if rel.status is RelaxationStatus.INFEASIBLE:
+                self.stats.nodes_pruned += 1
+                return work
+            if rel.status in (RelaxationStatus.UNBOUNDED, RelaxationStatus.FAILED):
+                # cannot bound: resolve by branching on the raw node
+                x = None
+                break
+            x = rel.x
+            prev_bound = bound
+            bound = max(bound, rel.bound)
+            node.lower_bound = bound
+            if bound >= self.cutoff_bound:
+                self.stats.nodes_pruned += 1
+                return work
+            assert x is not None
+            if rounds >= max_rounds:
+                break
+            n_cuts, sep_work = self._separate(node, x, is_root)
+            work += sep_work
+            rounds += 1
+            if n_cuts == 0:
+                break
+            if rounds > 1 and bound - prev_bound < self.params.min_bound_improve * max(1.0, abs(bound)):
+                # tailing off: keep the cuts but stop re-solving
+                break
+
+        for ev in self.event_handlers:
+            ev.on_node_solved(self, node, bound)
+
+        if x is not None:
+            # lazy-constraint loop: an integral relaxation point rejected by
+            # a constraint handler must be cut off (possibly by a pool cut
+            # the tailing-off shortcut never re-solved against) until it is
+            # either feasible, fractional, or the node is pruned.
+            for _attempt in range(100):
+                frac = self._fractional_candidates(x)
+                if frac:
+                    break
+                if self._check_candidate(x):
+                    self.add_solution(self.model.objective_value(x), x, check=False)
+                    return work
+                n_cuts, sep_work = self._separate(node, x, is_root)
+                work += sep_work
+                stale = n_cuts == 0 and (
+                    any(cut.violation(x) > self.tol.feas for cut in self.cutpool)
+                    or any(row.violation(x) > self.tol.feas for row in node.local_rows)
+                )
+                if n_cuts == 0 and not stale:
+                    break  # nothing cuts it off: fall through to branching
+                rel = self._solve_relaxation(node, is_root)
+                work += rel.work
+                if rel.status is RelaxationStatus.INFEASIBLE:
+                    self.stats.nodes_pruned += 1
+                    return work
+                if rel.status is not RelaxationStatus.OPTIMAL:
+                    x = None
+                    break
+                x = rel.x
+                node.lower_bound = max(node.lower_bound, rel.bound)
+                if node.lower_bound >= self.cutoff_bound:
+                    self.stats.nodes_pruned += 1
+                    return work
+                assert x is not None
+
+        self._run_heuristics(node, x, is_root)
+        if node.lower_bound >= self.cutoff_bound:
+            self.stats.nodes_pruned += 1
+            return work
+        try:
+            self._branch(node, x)
+        except PluginError:
+            # No rule can split this node (relaxation failed with nothing
+            # to branch on, or a constraint handler rejected an integral
+            # point that no cut and no spatial split can resolve). Dropping
+            # it risks losing solutions in this subtree — record it loudly
+            # rather than crash the whole search.
+            self.stats.bump("unresolved_nodes")
+            self.stats.nodes_pruned += 1
+        return work
+
+    # -- convenience driver -----------------------------------------------------
+
+    def solve(
+        self,
+        node_limit: int | None = None,
+        time_limit: float | None = None,
+        callback: Callable[["CIPSolver"], bool] | None = None,
+    ) -> SolveResult:
+        """Run to completion (or to a limit) and return the result.
+
+        ``callback`` is invoked after every node; returning False
+        interrupts the solve (UG termination, racing deadline...).
+        """
+        node_limit = node_limit if node_limit is not None else self.params.node_limit
+        time_limit = time_limit if time_limit is not None else self.params.time_limit
+        self._clock.reset()
+        self._clock.start()
+        if self._tree is None:
+            self.setup()
+        status = SolveStatus.UNKNOWN
+        while True:
+            outcome = self.step()
+            if outcome.finished:
+                status = outcome.status
+                break
+            if self.stats.nodes_processed >= node_limit:
+                status = SolveStatus.NODE_LIMIT
+                break
+            if self._clock.elapsed >= time_limit:
+                status = SolveStatus.TIME_LIMIT
+                break
+            if callback is not None and not callback(self):
+                status = SolveStatus.INTERRUPTED
+                break
+        self._clock.stop()
+        dual = self.dual_bound()
+        if status is SolveStatus.OPTIMAL and self.incumbent is not None:
+            dual = self.incumbent.value
+        self.stats.nodes_created += 1  # count the root
+        return SolveResult(status, self.incumbent, dual, self.stats.nodes_processed, self.stats)

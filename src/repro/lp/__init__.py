@@ -1,0 +1,13 @@
+"""LP substrate: model container and interchangeable solver backends.
+
+The branch-and-cut machinery in :mod:`repro.cip` needs primal solutions,
+row duals and reduced costs from an LP oracle. Two backends implement the
+same interface: a dense bounded-variable revised simplex written here
+(:mod:`repro.lp.simplex`) and scipy's HiGHS (:mod:`repro.lp.scipy_backend`,
+the default — it plays the role of Cplex/SoPlex in the paper).
+"""
+
+from repro.lp.model import LinearProgram, LPSolution, LPStatus
+from repro.lp.interface import solve_lp
+
+__all__ = ["LinearProgram", "LPSolution", "LPStatus", "solve_lp"]

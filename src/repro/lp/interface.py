@@ -1,0 +1,21 @@
+"""Backend-dispatching LP solve entry point."""
+
+from __future__ import annotations
+
+from repro.exceptions import LPError
+from repro.lp.model import LinearProgram, LPSolution
+
+_BACKENDS = ("highs", "simplex")
+
+
+def solve_lp(lp: LinearProgram, backend: str = "highs", **kwargs: object) -> LPSolution:
+    """Solve ``lp`` with the named backend (``"highs"`` or ``"simplex"``)."""
+    if backend == "highs":
+        from repro.lp.scipy_backend import solve_with_scipy
+
+        return solve_with_scipy(lp)
+    if backend == "simplex":
+        from repro.lp.simplex import solve_with_simplex
+
+        return solve_with_simplex(lp, **kwargs)  # type: ignore[arg-type]
+    raise LPError(f"unknown LP backend {backend!r}; choose from {_BACKENDS}")

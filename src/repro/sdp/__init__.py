@@ -1,0 +1,39 @@
+"""Mixed integer semidefinite programming — the SCIP-SDP analogue.
+
+Implements both solution approaches of the paper's §3.2:
+
+* the **LP-based cutting-plane approach** using Sherali–Fraticelli
+  eigenvector cuts (:mod:`repro.sdp.eigcuts`) inside the CIP
+  branch-and-cut loop, and
+* **nonlinear branch-and-bound**, solving a continuous SDP relaxation at
+  every node (:mod:`repro.sdp.relaxator`) through the ADMM solver in
+  :mod:`repro.sdp.admm` — the stand-in for the interior-point solvers
+  (Mosek) the paper interfaces — with a penalty formulation for
+  relaxations violating the Slater condition (:mod:`repro.sdp.admm`).
+
+ug[MISDP,*] exploits racing ramp-up to run LP-based and SDP-based solver
+instances side by side (settings interleave in
+:mod:`repro.apps.misdp_plugins`), dynamically choosing the better
+relaxation per instance — the hybrid the paper highlights.
+"""
+
+from repro.sdp.model import MISDP, SDPBlock, LinearRow
+from repro.sdp.solver import MISDPSolver, MISDPSolution
+from repro.sdp.instances import (
+    cardinality_least_squares,
+    cblib_collection,
+    min_k_partitioning,
+    truss_topology_design,
+)
+
+__all__ = [
+    "MISDP",
+    "SDPBlock",
+    "LinearRow",
+    "MISDPSolver",
+    "MISDPSolution",
+    "truss_topology_design",
+    "cardinality_least_squares",
+    "min_k_partitioning",
+    "cblib_collection",
+]

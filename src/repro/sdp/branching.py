@@ -1,0 +1,74 @@
+"""SDP-specific branching: spatial splits on continuous variables.
+
+When all integer variables are fixed but the point still violates a PSD
+block (and eigenvector cuts have gone numerically dull), the node can
+only be resolved by splitting a *continuous* domain — the spatial
+branch-and-bound idea the paper's CIP section describes for MINLP
+("branching on any variable that is involved in g_j(x) may be applied").
+The variable is chosen by eigencut involvement: largest |v' A_i v| times
+remaining domain width for the most negative eigenpair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cip.node import Node
+from repro.cip.plugins import BranchingRule, ChildSpec
+from repro.cip.solver import CIPSolver
+from repro.sdp.linalg import min_eig
+from repro.sdp.model import MISDP
+
+_MIN_WIDTH = 1e-6
+
+
+class SpatialBranching(BranchingRule):
+    """Split a continuous variable involved in the most violated block."""
+
+    name = "sdp_spatial"
+    priority = 1  # only after every integer rule has passed
+
+    def __init__(self, misdp: MISDP) -> None:
+        self.misdp = misdp
+
+    def branch(self, solver: CIPSolver, node: Node, x: np.ndarray | None) -> list[ChildSpec]:
+        if x is None:
+            return []
+        y = x[: self.misdp.num_vars]
+        worst_lam = 0.0
+        worst_vec: np.ndarray | None = None
+        worst_block = None
+        for block in self.misdp.blocks:
+            Z = block.evaluate(y)
+            lam, v = min_eig(Z)
+            scale = max(1.0, float(np.abs(Z).max()))
+            if lam / scale < worst_lam:
+                worst_lam, worst_vec, worst_block = lam / scale, v, block
+        if worst_block is None or worst_vec is None or worst_lam > -solver.tol.feas:
+            return []
+        integer_set = set(self.misdp.integers)
+        best_i = -1
+        best_score = 0.0
+        for i, A in worst_block.coefs.items():
+            if i in integer_set:
+                continue
+            lo, hi = solver.local_bounds(i)
+            width = hi - lo
+            if width < _MIN_WIDTH:
+                continue
+            score = abs(float(worst_vec @ A @ worst_vec)) * min(width, 1e3)
+            if score > best_score:
+                best_score, best_i = score, i
+        if best_i < 0 or best_score < 1e-10:
+            return []
+        lo, hi = solver.local_bounds(best_i)
+        point = float(np.clip(y[best_i], lo + width_eps(lo, hi), hi - width_eps(lo, hi)))
+        return [
+            ChildSpec(bound_changes={best_i: (lo, point)}),
+            ChildSpec(bound_changes={best_i: (point, hi)}),
+        ]
+
+
+def width_eps(lo: float, hi: float) -> float:
+    """Keep the split strictly interior so both children shrink."""
+    return max(1e-9, 0.05 * (hi - lo))

@@ -1,0 +1,289 @@
+"""CBF (Conic Benchmark Format) reader/writer for MISDPs.
+
+CBLIB — the paper's Table 4 benchmark library — distributes instances in
+CBF. This module supports the subset needed for mixed integer
+semidefinite programs in the paper's dual form:
+
+* ``VER`` (1-3), ``OBJSENSE``,
+* ``VAR`` with ``F``/``L+``/``L-`` cones (bounds as variable cones),
+* ``INT`` integer markers,
+* ``CON`` scalar constraints with ``L+``/``L-``/``L=`` cones,
+* ``PSDCON`` blocks with ``HCOORD``/``DCOORD`` entries, i.e. constraints
+  ``sum_j H_j y_j + D >= 0`` (PSD), which map to our blocks via
+  ``C = D`` and ``A_j = -H_j``,
+* ``OBJACOORD``, ``ACOORD``, ``BCOORD``.
+
+Only lower-triangular PSD coordinates are written (per the spec); the
+reader symmetrises.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.sdp.model import MISDP
+
+_SUPPORTED_VAR_CONES = {"F", "L+", "L-"}
+_SUPPORTED_CON_CONES = {"L+", "L-", "L="}
+
+
+def _tokens(text: str):
+    """Yield logical lines: stripped, comment-free, non-empty."""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            yield line
+
+
+def read_cbf(text: str, name: str = "cbf") -> MISDP:
+    """Parse CBF text into an :class:`MISDP` (sup-form)."""
+    lines = list(_tokens(text))
+    pos = 0
+
+    def next_line() -> str:
+        nonlocal pos
+        if pos >= len(lines):
+            raise ModelError("unexpected end of CBF input")
+        line = lines[pos]
+        pos += 1
+        return line
+
+    objsense = 1  # +1 = MAX (our native form), -1 = MIN
+    n_vars = 0
+    var_cones: list[tuple[str, int]] = []
+    integers: list[int] = []
+    con_cones: list[tuple[str, int]] = []
+    psd_dims: list[int] = []
+    obj_coords: dict[int, float] = {}
+    a_coords: list[tuple[int, int, float]] = []
+    b_coords: dict[int, float] = {}
+    h_coords: list[tuple[int, int, int, int, float]] = []
+    d_coords: list[tuple[int, int, int, float]] = []
+
+    while pos < len(lines):
+        keyword = next_line().upper()
+        if keyword == "VER":
+            version = int(next_line())
+            if version not in (1, 2, 3):
+                raise ModelError(f"unsupported CBF version {version}")
+        elif keyword == "OBJSENSE":
+            sense = next_line().upper()
+            if sense not in ("MIN", "MAX"):
+                raise ModelError(f"bad OBJSENSE {sense!r}")
+            objsense = 1 if sense == "MAX" else -1
+        elif keyword == "VAR":
+            n_vars, k = (int(t) for t in next_line().split())
+            total = 0
+            for _ in range(k):
+                cone, dim = next_line().split()
+                if cone not in _SUPPORTED_VAR_CONES:
+                    raise ModelError(f"unsupported variable cone {cone!r}")
+                var_cones.append((cone, int(dim)))
+                total += int(dim)
+            if total != n_vars:
+                raise ModelError("VAR cone dimensions do not sum to the variable count")
+        elif keyword == "INT":
+            for _ in range(int(next_line())):
+                integers.append(int(next_line()))
+        elif keyword == "CON":
+            _n_scalar, r = (int(t) for t in next_line().split())
+            for _ in range(r):
+                cone, dim = next_line().split()
+                if cone not in _SUPPORTED_CON_CONES:
+                    raise ModelError(f"unsupported constraint cone {cone!r}")
+                con_cones.append((cone, int(dim)))
+        elif keyword == "PSDCON":
+            for _ in range(int(next_line())):
+                psd_dims.append(int(next_line()))
+        elif keyword == "OBJACOORD":
+            for _ in range(int(next_line())):
+                j, val = next_line().split()
+                obj_coords[int(j)] = float(val)
+        elif keyword == "OBJBCOORD":
+            next_line()  # constant objective offset: ignored (documented)
+        elif keyword == "ACOORD":
+            for _ in range(int(next_line())):
+                i, j, val = next_line().split()
+                a_coords.append((int(i), int(j), float(val)))
+        elif keyword == "BCOORD":
+            for _ in range(int(next_line())):
+                i, val = next_line().split()
+                b_coords[int(i)] = float(val)
+        elif keyword == "HCOORD":
+            for _ in range(int(next_line())):
+                blk, j, r, c, val = next_line().split()
+                h_coords.append((int(blk), int(j), int(r), int(c), float(val)))
+        elif keyword == "DCOORD":
+            for _ in range(int(next_line())):
+                blk, r, c, val = next_line().split()
+                d_coords.append((int(blk), int(r), int(c), float(val)))
+        else:
+            raise ModelError(f"unsupported CBF section {keyword!r}")
+
+    # variable bounds from variable cones
+    lb = np.full(n_vars, -math.inf)
+    ub = np.full(n_vars, math.inf)
+    offset = 0
+    for cone, dim in var_cones:
+        for j in range(offset, offset + dim):
+            if cone == "L+":
+                lb[j] = 0.0
+            elif cone == "L-":
+                ub[j] = 0.0
+        offset += dim
+
+    b = np.zeros(n_vars)
+    for j, val in obj_coords.items():
+        b[j] = val * objsense  # normalise to sup-form
+    misdp = MISDP(name, b, lb, ub, integers=sorted(set(integers)))
+
+    # scalar rows: row i is  sum_j a_ij y_j + b_i  in cone
+    row_cone: list[str] = []
+    for cone, dim in con_cones:
+        row_cone.extend([cone] * dim)
+    rows_coefs: dict[int, dict[int, float]] = {}
+    for i, j, val in a_coords:
+        rows_coefs.setdefault(i, {})[j] = rows_coefs.setdefault(i, {}).get(j, 0.0) + val
+    for i, cone in enumerate(row_cone):
+        coefs = rows_coefs.get(i, {})
+        const = b_coords.get(i, 0.0)
+        if cone == "L+":  # a'y + b >= 0
+            misdp.add_linear_row(coefs, lhs=-const)
+        elif cone == "L-":
+            misdp.add_linear_row(coefs, rhs=-const)
+        else:
+            misdp.add_linear_row(coefs, lhs=-const, rhs=-const)
+
+    # PSD blocks: sum_j H_j y_j + D >= 0  ->  C = D, A_j = -H_j
+    for bi, dim in enumerate(psd_dims):
+        C = np.zeros((dim, dim))
+        coefs: dict[int, np.ndarray] = {}
+        for blk, r, c, val in d_coords:
+            if blk == bi:
+                C[r, c] = val
+                C[c, r] = val
+        for blk, j, r, c, val in h_coords:
+            if blk != bi:
+                continue
+            A = coefs.setdefault(j, np.zeros((dim, dim)))
+            A[r, c] = -val
+            A[c, r] = -val
+        misdp.add_block(C, coefs, f"psd{bi}")
+    return misdp
+
+
+def read_cbf_file(path: str | Path) -> MISDP:
+    p = Path(path)
+    return read_cbf(p.read_text(), name=p.stem)
+
+
+def write_cbf(misdp: MISDP) -> str:
+    """Serialize an MISDP in CBF version 1 (sup-form -> OBJSENSE MAX).
+
+    Finite variable bounds other than ``y >= 0`` / ``y <= 0`` are emitted
+    as scalar constraints (CBF has no general bound section).
+    """
+    buf = io.StringIO()
+    buf.write("# written by repro.sdp.cbf\nVER\n1\n\nOBJSENSE\nMAX\n\n")
+    m = misdp.num_vars
+    # variable cones: exact zero-bounds map to L+/L-; everything else free
+    cones: list[str] = []
+    extra_rows: list[tuple[dict[int, float], float, str]] = []  # (coefs, const, cone)
+    for j in range(m):
+        lo, hi = misdp.lb[j], misdp.ub[j]
+        if lo == 0.0 and math.isinf(hi):
+            cones.append("L+")
+        elif hi == 0.0 and math.isinf(lo):
+            cones.append("L-")
+        else:
+            cones.append("F")
+            if math.isfinite(lo):
+                extra_rows.append(({j: 1.0}, -lo, "L+"))  # y - lo >= 0
+            if math.isfinite(hi):
+                extra_rows.append(({j: -1.0}, hi, "L+"))  # hi - y >= 0
+    buf.write(f"VAR\n{m} {m}\n")
+    for cone in cones:
+        buf.write(f"{cone} 1\n")
+    buf.write("\n")
+    if misdp.integers:
+        buf.write(f"INT\n{len(misdp.integers)}\n")
+        for j in misdp.integers:
+            buf.write(f"{j}\n")
+        buf.write("\n")
+
+    # scalar rows
+    all_rows: list[tuple[dict[int, float], float, str]] = []
+    for row in misdp.linear_rows:
+        if row.lhs == row.rhs:
+            all_rows.append((row.coefs, -row.lhs, "L="))
+        else:
+            if math.isfinite(row.lhs):
+                all_rows.append((row.coefs, -row.lhs, "L+"))
+            if math.isfinite(row.rhs):
+                all_rows.append(({k: -v for k, v in row.coefs.items()}, row.rhs, "L+"))
+    all_rows.extend(extra_rows)
+    if all_rows:
+        buf.write(f"CON\n{len(all_rows)} {len(all_rows)}\n")
+        for _c, _b, cone in all_rows:
+            buf.write(f"{cone} 1\n")
+        buf.write("\n")
+
+    if misdp.blocks:
+        buf.write(f"PSDCON\n{len(misdp.blocks)}\n")
+        for block in misdp.blocks:
+            buf.write(f"{block.size}\n")
+        buf.write("\n")
+
+    obj = [(j, misdp.b[j]) for j in range(m) if misdp.b[j] != 0.0]
+    if obj:
+        buf.write(f"OBJACOORD\n{len(obj)}\n")
+        for j, val in obj:
+            buf.write(f"{j} {float(val)!r}\n")
+        buf.write("\n")
+
+    a_entries = [
+        (i, j, val)
+        for i, (coefs, _b, _c) in enumerate(all_rows)
+        for j, val in sorted(coefs.items())
+        if val != 0.0
+    ]
+    if a_entries:
+        buf.write(f"ACOORD\n{len(a_entries)}\n")
+        for i, j, val in a_entries:
+            buf.write(f"{i} {j} {float(val)!r}\n")
+        buf.write("\n")
+    b_entries = [(i, bval) for i, (_c, bval, _k) in enumerate(all_rows) if bval != 0.0]
+    if b_entries:
+        buf.write(f"BCOORD\n{len(b_entries)}\n")
+        for i, val in b_entries:
+            buf.write(f"{i} {float(val)!r}\n")
+        buf.write("\n")
+
+    h_entries = []
+    d_entries = []
+    for bi, block in enumerate(misdp.blocks):
+        for j, A in sorted(block.coefs.items()):
+            for r in range(block.size):
+                for c in range(r + 1):
+                    if A[r, c] != 0.0:
+                        h_entries.append((bi, j, r, c, -A[r, c]))
+        for r in range(block.size):
+            for c in range(r + 1):
+                if block.C[r, c] != 0.0:
+                    d_entries.append((bi, r, c, block.C[r, c]))
+    if h_entries:
+        buf.write(f"HCOORD\n{len(h_entries)}\n")
+        for blk, j, r, c, val in h_entries:
+            buf.write(f"{blk} {j} {r} {c} {float(val)!r}\n")
+        buf.write("\n")
+    if d_entries:
+        buf.write(f"DCOORD\n{len(d_entries)}\n")
+        for blk, r, c, val in d_entries:
+            buf.write(f"{blk} {r} {c} {float(val)!r}\n")
+        buf.write("\n")
+    return buf.getvalue()

@@ -1,0 +1,62 @@
+"""MISDP primal heuristics: randomized rounding with continuous polish.
+
+SCIP-SDP's randomized rounding: round each integer variable to one of
+its neighbouring integers with probability given by the fractional part
+of the relaxation value; then solve the continuous SDP with the integers
+fixed and keep the point if feasible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cip.node import Node
+from repro.cip.plugins import Heuristic
+from repro.cip.solver import CIPSolver
+from repro.sdp.admm import solve_sdp_relaxation
+from repro.sdp.model import MISDP
+
+
+class RandomizedRoundingHeuristic(Heuristic):
+    """Probabilistic rounding of the relaxation point + SDP polish."""
+
+    name = "sdp_randomized_rounding"
+    priority = 50
+
+    def __init__(self, misdp: MISDP, n_tries: int = 3, polish_iters: int = 1500) -> None:
+        self.misdp = misdp
+        self.n_tries = n_tries
+        self.polish_iters = polish_iters
+
+    def run(self, solver: CIPSolver, node: Node, x: np.ndarray | None) -> None:
+        if x is None:
+            return
+        m = self.misdp.num_vars
+        y_rel = np.asarray(x[:m], dtype=float)
+        integers = self.misdp.integers
+        has_continuous = len(integers) < m
+        for _try in range(self.n_tries):
+            y = y_rel.copy()
+            for i in integers:
+                lo, hi = solver.local_bounds(i)
+                frac = y[i] - np.floor(y[i])
+                up = solver.rng.random() < frac
+                y[i] = float(np.ceil(y[i]) if up else np.floor(y[i]))
+                y[i] = min(max(y[i], np.ceil(lo - 1e-9)), np.floor(hi + 1e-9))
+            if has_continuous:
+                lb = solver._local_lb[:m].copy()  # noqa: SLF001
+                ub = solver._local_ub[:m].copy()  # noqa: SLF001
+                for i in integers:
+                    lb[i] = ub[i] = y[i]
+                res = solve_sdp_relaxation(self.misdp, lb, ub, max_iter=self.polish_iters)
+                if res.status != "optimal" or res.y is None:
+                    continue
+                y = res.y
+                for i in integers:
+                    y[i] = round(y[i])
+            if not self.misdp.is_feasible(y, tol=solver.tol.feas * 10):
+                continue
+            value = -self.misdp.objective(y) + solver.model.obj_offset
+            if solver.add_solution(value, y, data=[float(v) for v in y], check=True):
+                solver.stats.heuristic_solutions += 1
+                return

@@ -1,0 +1,231 @@
+"""Seeded MISDP instance generators for the three CBLIB families of
+Table 4: truss topology design (TTD), cardinality-constrained least
+squares (CLS) and minimum k-partitioning (Mk-P).
+
+The formulations follow the literature the paper cites (Kočvara/Mars for
+TTD, Gally's thesis for CLS and Mk-P); sizes are scaled to this solver.
+The structural properties driving Table 4/Figure 1 — CLS being very
+LP-friendly, Mk-P being SDP-affine combinatorial, TTD in between — are
+properties of the formulations and carry over (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.sdp.model import MISDP
+from repro.utils import make_rng
+
+
+def truss_topology_design(
+    n_cols: int = 2,
+    max_bars: int | None = None,
+    compliance_bound: float = 60.0,
+    seed: int = 0,
+) -> MISDP:
+    """Truss topology design with binary bar-existence variables.
+
+    Ground structure: nodes on a 2 x (n_cols+1) grid; the left column is
+    clamped, a unit load pulls down at the right. Variables: continuous
+    cross-sections x_j in [0, xmax], binaries z_j, coupling x_j <= xmax z_j
+    and a cardinality budget. The compliance constraint is the SDP block
+
+        [[ gamma, f' ], [ f, K(x) ]]  >= 0,   K(x) = sum_j x_j K_j.
+
+    Objective: minimise total volume  sum_j l_j x_j  (as sup of the
+    negation).
+    """
+    rng = make_rng(seed)
+    nodes = [(cx, cy) for cx in range(n_cols + 1) for cy in (0, 1)]
+    fixed = {i for i, (cx, _cy) in enumerate(nodes) if cx == 0}
+    free = [i for i in range(len(nodes)) if i not in fixed]
+    dof = {node: (2 * k, 2 * k + 1) for k, node in enumerate(free)}
+    ndof = 2 * len(free)
+    bars = [
+        (i, j)
+        for i, j in itertools.combinations(range(len(nodes)), 2)
+        if math.dist(nodes[i], nodes[j]) <= math.sqrt(2) + 1e-9 and not (i in fixed and j in fixed)
+    ]
+    if max_bars is not None:
+        bars = bars[:max_bars]
+    nb = len(bars)
+
+    lengths = np.array([math.dist(nodes[i], nodes[j]) for i, j in bars])
+    stiff = []
+    for (i, j), L in zip(bars, lengths):
+        (xi, yi), (xj, yj) = nodes[i], nodes[j]
+        c, s = (xj - xi) / L, (yj - yi) / L
+        g = np.zeros(ndof)
+        if i in dof:
+            g[dof[i][0]], g[dof[i][1]] = -c, -s
+        if j in dof:
+            g[dof[j][0]], g[dof[j][1]] = c, s
+        stiff.append(np.outer(g, g) / L)
+
+    # unit load: down at the right-most top free node
+    load_node = max(free, key=lambda k: (nodes[k][0], nodes[k][1]))
+    f = np.zeros(ndof)
+    f[dof[load_node][1]] = -1.0
+
+    xmax = 2.0
+    budget = max(ndof // 2 + 1, int(0.7 * nb))
+    m = 2 * nb  # x vars then z vars
+    b = np.concatenate([-lengths, np.zeros(nb)])  # sup -volume
+    lb = np.zeros(m)
+    ub = np.concatenate([np.full(nb, xmax), np.ones(nb)])
+    misdp = MISDP(f"ttd_{n_cols}_{seed}", b, lb, ub, integers=list(range(nb, 2 * nb)))
+
+    size = 1 + ndof
+    C = np.zeros((size, size))
+    C[0, 0] = compliance_bound
+    C[0, 1:] = f
+    C[1:, 0] = f
+    coefs = {}
+    for j, Kj in enumerate(stiff):
+        A = np.zeros((size, size))
+        A[1:, 1:] = -Kj  # C - A x = [[gamma, f'],[f, K(x)]]
+        coefs[j] = A
+    misdp.add_block(C, coefs, "compliance")
+    for j in range(nb):
+        misdp.add_linear_row({j: 1.0, nb + j: -xmax}, rhs=0.0, name=f"link_{j}")
+    misdp.add_linear_row({nb + j: 1.0 for j in range(nb)}, rhs=float(budget), name="budget")
+    # small random perturbation of lengths diversifies the family
+    misdp.b[:nb] *= 1.0 + 0.05 * rng.random(nb)
+    return misdp
+
+
+def cardinality_least_squares(
+    n_features: int = 5,
+    n_samples: int = 6,
+    cardinality: int | None = None,
+    big_m: float = 5.0,
+    seed: int = 0,
+) -> MISDP:
+    """Cardinality-constrained least squares as an MISDP.
+
+    minimise ||Ax - d||^2  s.t.  ||x||_0 <= k  via the Schur block
+
+        [[ I_m, Ax - d ], [ (Ax - d)', t ]] >= 0   (=> t >= ||Ax - d||^2)
+
+    with binaries z and indicator bounds -Mz <= x <= Mz. Variables:
+    (x_1..x_n, z_1..z_n, t); objective sup(-t).
+    """
+    rng = make_rng(seed)
+    A = rng.normal(size=(n_samples, n_features))
+    x_true = np.zeros(n_features)
+    support = rng.choice(n_features, size=max(1, n_features // 2), replace=False)
+    x_true[support] = rng.normal(scale=2.0, size=len(support))
+    d = A @ x_true + 0.1 * rng.normal(size=n_samples)
+    k = cardinality if cardinality is not None else max(1, n_features // 2)
+
+    m = 2 * n_features + 1
+    t_idx = 2 * n_features
+    b = np.zeros(m)
+    b[t_idx] = -1.0  # sup -t
+    lb = np.concatenate([np.full(n_features, -big_m), np.zeros(n_features), [0.0]])
+    ub = np.concatenate([np.full(n_features, big_m), np.ones(n_features), [1e4]])
+    misdp = MISDP(
+        f"cls_{n_features}x{n_samples}_{seed}",
+        b,
+        lb,
+        ub,
+        integers=list(range(n_features, 2 * n_features)),
+    )
+
+    size = n_samples + 1
+    C = np.zeros((size, size))
+    C[:n_samples, :n_samples] = np.eye(n_samples)
+    C[:n_samples, -1] = -d
+    C[-1, :n_samples] = -d
+    coefs: dict[int, np.ndarray] = {}
+    for j in range(n_features):
+        Aj = np.zeros((size, size))
+        Aj[:n_samples, -1] = -A[:, j]
+        Aj[-1, :n_samples] = -A[:, j]
+        coefs[j] = Aj
+    At = np.zeros((size, size))
+    At[-1, -1] = -1.0
+    coefs[t_idx] = At
+    misdp.add_block(C, coefs, "schur")
+    for j in range(n_features):
+        misdp.add_linear_row({j: 1.0, n_features + j: -big_m}, rhs=0.0, name=f"ub_{j}")
+        misdp.add_linear_row({j: -1.0, n_features + j: -big_m}, rhs=0.0, name=f"lb_{j}")
+    misdp.add_linear_row({n_features + j: 1.0 for j in range(n_features)}, rhs=float(k), name="card")
+    return misdp
+
+
+def min_k_partitioning(n: int = 6, k: int = 3, density: float = 0.7, seed: int = 0) -> MISDP:
+    """Minimum k-partitioning as an MISDP (Gally's thesis formulation).
+
+    Binary y_ij (i<j) says i and j share a part; the matrix
+
+        M(y)_ii = 1,  M(y)_ij = (k y_ij - 1) / (k - 1)
+
+    must be PSD (it is exactly the Gram matrix of the k-corner vectors);
+    triangle rows strengthen the LP relaxation. Objective: minimise the
+    total weight within parts, sup of the negation.
+    """
+    if k < 2 or n < k:
+        raise ModelError("need k >= 2 and n >= k")
+    rng = make_rng(seed)
+    pairs = list(itertools.combinations(range(n), 2))
+    w = {}
+    for (i, j) in pairs:
+        if rng.random() < density:
+            w[(i, j)] = float(rng.integers(1, 10))
+    m = len(pairs)
+    index = {p: idx for idx, p in enumerate(pairs)}
+    b = np.array([-w.get(p, 0.0) for p in pairs])
+    misdp = MISDP(
+        f"mkp_{n}_{k}_{seed}",
+        b,
+        np.zeros(m),
+        np.ones(m),
+        integers=list(range(m)),
+    )
+    size = n
+    C = np.full((size, size), -1.0 / (k - 1))
+    np.fill_diagonal(C, 1.0)
+    coefs = {}
+    scale = k / (k - 1)
+    for (i, j), idx in index.items():
+        A = np.zeros((size, size))
+        A[i, j] = A[j, i] = -scale  # C - A y gives offdiag (k*y - 1)/(k-1)
+        coefs[idx] = A
+    misdp.add_block(C, coefs, "gram")
+    # triangle inequalities: transitivity of "same part"
+    for i, j, l in itertools.combinations(range(n), 3):
+        ij, jl, il = index[(i, j)], index[(j, l)], index[(i, l)]
+        misdp.add_linear_row({ij: 1.0, jl: 1.0, il: -1.0}, rhs=1.0)
+        misdp.add_linear_row({ij: 1.0, il: 1.0, jl: -1.0}, rhs=1.0)
+        misdp.add_linear_row({jl: 1.0, il: 1.0, ij: -1.0}, rhs=1.0)
+    return misdp
+
+
+def cblib_collection(
+    n_ttd: int = 6,
+    n_cls: int = 6,
+    n_mkp: int = 6,
+    seed: int = 0,
+) -> list[tuple[str, str, MISDP]]:
+    """A scaled-down CBLIB: (family, name, instance) triples.
+
+    The paper runs the complete 194-instance CBLIB; this generator builds
+    a seeded suite with the same three families and a size ramp inside
+    each family.
+    """
+    out: list[tuple[str, str, MISDP]] = []
+    for t in range(n_ttd):
+        inst = truss_topology_design(n_cols=1 + t % 2, seed=seed + t)
+        out.append(("TTD", inst.name, inst))
+    for t in range(n_cls):
+        inst = cardinality_least_squares(n_features=3 + t % 2, n_samples=4 + t % 2, seed=seed + t)
+        out.append(("CLS", inst.name, inst))
+    for t in range(n_mkp):
+        inst = min_k_partitioning(n=4 + t % 2, k=2, seed=seed + t)
+        out.append(("Mk-P", inst.name, inst))
+    return out

@@ -1,0 +1,38 @@
+"""Symmetric-matrix helpers for the SDP machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+
+def min_eig(M: np.ndarray) -> tuple[float, np.ndarray]:
+    """Smallest eigenvalue and a corresponding unit eigenvector."""
+    vals, vecs = sla.eigh(np.asarray(M, dtype=float))
+    return float(vals[0]), vecs[:, 0]
+
+
+def eig_pairs_below(M: np.ndarray, threshold: float) -> list[tuple[float, np.ndarray]]:
+    """All (eigenvalue, eigenvector) pairs with eigenvalue < threshold."""
+    vals, vecs = sla.eigh(np.asarray(M, dtype=float))
+    return [(float(vals[i]), vecs[:, i]) for i in range(len(vals)) if vals[i] < threshold]
+
+
+def project_psd(M: np.ndarray) -> np.ndarray:
+    """Euclidean projection onto the PSD cone (eigenvalue clipping)."""
+    M = np.asarray(M, dtype=float)
+    if M.shape == (1, 1):
+        return np.maximum(M, 0.0)
+    vals, vecs = sla.eigh(M)
+    if vals[0] >= 0.0:
+        return M
+    pos = vals > 0.0
+    if not np.any(pos):
+        return np.zeros_like(M)
+    V = vecs[:, pos]
+    return (V * vals[pos]) @ V.T
+
+
+def sym(M: np.ndarray) -> np.ndarray:
+    """Symmetrize (numerical hygiene after accumulated updates)."""
+    return 0.5 * (M + M.T)

@@ -1,0 +1,134 @@
+"""MISDP model container — problem (8) of the paper.
+
+    sup  b'y
+    s.t. C_k - sum_i A_ki y_i  >= 0   (PSD, per block k)
+         lhs <= a'y <= rhs            (linear rows)
+         l <= y <= u,  y_i integer for i in I
+
+Internally the CIP layer minimises, so the model also provides the
+negated view; reported objective values are in the original (sup) sense.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+@dataclass
+class SDPBlock:
+    """One PSD constraint ``C - sum_i A[i] y_i >= 0``.
+
+    ``coefs`` maps variable index -> symmetric matrix A_i (absent
+    variables do not appear in the block).
+    """
+
+    C: np.ndarray
+    coefs: dict[int, np.ndarray]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.C = np.asarray(self.C, dtype=float)
+        n = self.C.shape[0]
+        if self.C.shape != (n, n) or not np.allclose(self.C, self.C.T, atol=1e-9):
+            raise ModelError(f"block {self.name!r}: C must be symmetric square")
+        for i, A in list(self.coefs.items()):
+            A = np.asarray(A, dtype=float)
+            if A.shape != (n, n) or not np.allclose(A, A.T, atol=1e-9):
+                raise ModelError(f"block {self.name!r}: A[{i}] must be symmetric {n}x{n}")
+            self.coefs[i] = A
+
+    @property
+    def size(self) -> int:
+        return self.C.shape[0]
+
+    def evaluate(self, y: np.ndarray) -> np.ndarray:
+        """The slack matrix ``Z(y) = C - sum A_i y_i``."""
+        Z = self.C.copy()
+        for i, A in self.coefs.items():
+            Z -= A * float(y[i])
+        return Z
+
+
+@dataclass
+class LinearRow:
+    """``lhs <= coefs . y <= rhs``."""
+
+    coefs: dict[int, float]
+    lhs: float
+    rhs: float
+    name: str = ""
+
+
+@dataclass
+class MISDP:
+    """A mixed integer semidefinite program in the paper's dual form."""
+
+    name: str = "misdp"
+    b: np.ndarray = field(default_factory=lambda: np.zeros(0))  # maximise b'y
+    lb: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    ub: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    integers: list[int] = field(default_factory=list)
+    blocks: list[SDPBlock] = field(default_factory=list)
+    linear_rows: list[LinearRow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.b = np.asarray(self.b, dtype=float)
+        self.lb = np.asarray(self.lb, dtype=float)
+        self.ub = np.asarray(self.ub, dtype=float)
+        m = len(self.b)
+        if len(self.lb) != m or len(self.ub) != m:
+            raise ModelError("b, lb, ub must have equal length")
+        if np.any(self.lb > self.ub):
+            raise ModelError("lb > ub for some variable")
+        for i in self.integers:
+            if not 0 <= i < m:
+                raise ModelError(f"integer index {i} out of range")
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.b)
+
+    def add_block(self, C: np.ndarray, coefs: dict[int, np.ndarray], name: str = "") -> SDPBlock:
+        block = SDPBlock(np.asarray(C, dtype=float), dict(coefs), name)
+        for i in block.coefs:
+            if not 0 <= i < self.num_vars:
+                raise ModelError(f"block {name!r} references unknown variable {i}")
+        self.blocks.append(block)
+        return block
+
+    def add_linear_row(
+        self, coefs: dict[int, float], lhs: float = -math.inf, rhs: float = math.inf, name: str = ""
+    ) -> LinearRow:
+        if lhs > rhs:
+            raise ModelError(f"row {name!r}: lhs > rhs")
+        row = LinearRow(dict(coefs), float(lhs), float(rhs), name)
+        self.linear_rows.append(row)
+        return row
+
+    def objective(self, y: np.ndarray) -> float:
+        """The (sup-sense) objective value b'y."""
+        return float(self.b @ np.asarray(y, dtype=float))
+
+    def is_feasible(self, y: np.ndarray, tol: float = 1e-6) -> bool:
+        """Check bounds, linear rows, integrality and PSD blocks at ``y``."""
+        y = np.asarray(y, dtype=float)
+        if np.any(y < self.lb - tol) or np.any(y > self.ub + tol):
+            return False
+        for i in self.integers:
+            if abs(y[i] - round(y[i])) > tol:
+                return False
+        for row in self.linear_rows:
+            act = sum(c * y[j] for j, c in row.coefs.items())
+            if act < row.lhs - tol or act > row.rhs + tol:
+                return False
+        for block in self.blocks:
+            Z = block.evaluate(y)
+            eigmin = float(np.linalg.eigvalsh(Z)[0])
+            if eigmin < -tol * max(1.0, float(np.abs(Z).max())):
+                return False
+        return True

@@ -1,0 +1,79 @@
+"""MISDP presolve/propagation: dual fixing (simplified form).
+
+SCIP-SDP's dual fixing exploits objective monotonicity: if variable
+``y_i`` appears in every PSD block with a negative semidefinite
+coefficient matrix ``A_i`` (so *decreasing* y_i only relaxes
+``C - sum A y >= 0``) and its objective coefficient points the same way,
+the variable can be fixed to its bound. We implement the sound special
+case with no linear-row interference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cip.node import Node
+from repro.cip.plugins import PropagationResult, PropagationStatus, Propagator
+from repro.cip.solver import CIPSolver
+from repro.sdp.model import MISDP
+
+
+def _semidefinite_sign(A: np.ndarray, tol: float = 1e-9) -> int:
+    """+1 if A is PSD, -1 if NSD, 0 otherwise."""
+    vals = np.linalg.eigvalsh(A)
+    if vals[0] >= -tol:
+        return 1
+    if vals[-1] <= tol:
+        return -1
+    return 0
+
+
+class DualFixingPropagator(Propagator):
+    """Fix variables whose movement towards a bound never hurts."""
+
+    name = "sdp_dual_fixing"
+    priority = 60
+
+    def __init__(self, misdp: MISDP) -> None:
+        self.misdp = misdp
+        self._signs: dict[int, int] | None = None
+
+    def _variable_signs(self) -> dict[int, int]:
+        """Per variable: +1 if raising it only relaxes all blocks, -1 if
+        lowering does, 0 if mixed."""
+        if self._signs is not None:
+            return self._signs
+        signs: dict[int, int] = {}
+        for block in self.misdp.blocks:
+            for i, A in block.coefs.items():
+                s = _semidefinite_sign(A)
+                # Z = C - A y: raising y relaxes iff -A is PSD, i.e. A NSD
+                direction = 1 if s < 0 else (-1 if s > 0 else 0)
+                if i not in signs:
+                    signs[i] = direction
+                elif signs[i] != direction:
+                    signs[i] = 0
+        self._signs = signs
+        return signs
+
+    def propagate(self, solver: CIPSolver, node: Node) -> PropagationResult:
+        if self.misdp.linear_rows:
+            return PropagationResult()  # rows may oppose the movement: skip
+        signs = self._variable_signs()
+        b = self.misdp.b
+        tightened = 0
+        for i, direction in signs.items():
+            if direction == 0:
+                continue
+            lo, hi = solver.local_bounds(i)
+            if hi - lo <= solver.tol.eps:
+                continue
+            # maximise b'y (CIP minimises -b'y): move y_i up if b_i >= 0
+            if b[i] >= 0 and direction > 0 and np.isfinite(hi):
+                if solver.tighten_lb(i, hi):
+                    tightened += 1
+            elif b[i] <= 0 and direction < 0 and np.isfinite(lo):
+                if solver.tighten_ub(i, lo):
+                    tightened += 1
+        status = PropagationStatus.REDUCED if tightened else PropagationStatus.UNCHANGED
+        return PropagationResult(status, tightened)

@@ -1,0 +1,35 @@
+"""Steiner tree problem solver — the SCIP-Jack analogue.
+
+Implements the three pillars the paper names for SCIP-Jack:
+
+1. *reduction techniques* (:mod:`repro.steiner.reductions`, incl. the
+   extended reductions whose interplay with massive B&B solved bip52u),
+2. *heuristics* (:mod:`repro.steiner.heuristics`: shortest-path
+   construction, pruning, key-vertex local search), and
+3. *graph transformation + branch-and-cut* on the flow-balance directed
+   cut formulation (:mod:`repro.steiner.transformations`,
+   :mod:`repro.steiner.separators`), with Wong dual ascent for the
+   initial LP and reduced-cost fixing (:mod:`repro.steiner.dual_ascent`)
+   and vertex branching (delete vertex / add terminal).
+"""
+
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.solver import SteinerSolver, SteinerSolution
+from repro.steiner.instances import (
+    bipartite_instance,
+    code_cover_instance,
+    grid_instance,
+    hypercube_instance,
+    random_instance,
+)
+
+__all__ = [
+    "SteinerGraph",
+    "SteinerSolver",
+    "SteinerSolution",
+    "bipartite_instance",
+    "code_cover_instance",
+    "grid_instance",
+    "hypercube_instance",
+    "random_instance",
+]

@@ -1,0 +1,65 @@
+"""Steiner vertex branching.
+
+The paper: "each branching either deletes a vertex or adds a terminal".
+The OUT child fixes all arcs incident to the chosen vertex to zero (pure
+bound changes); the IN child adds the constraint-branching row
+``y(delta^-(v)) >= 1`` locally and records the decision so ParaSolvers
+receiving the subproblem can rebuild the graph with ``v`` as a terminal —
+the decision-communication capability added in ug-0.8.6 that let
+ug[SCIP-Jack, MPI] catch up with SCIP-Jack's improvements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cip.node import Node
+from repro.cip.plugins import BranchingRule, ChildSpec, Cut
+from repro.cip.solver import CIPSolver
+from repro.steiner.transformations import SAPDigraph
+
+
+class SteinerVertexBranching(BranchingRule):
+    """Branch on the non-terminal vertex with the most fractional
+    flow-through value (ties broken by the permutation seed)."""
+
+    name = "steinervertex"
+    priority = 100
+
+    def __init__(self, sap: SAPDigraph) -> None:
+        self.sap = sap
+
+    def branch(self, solver: CIPSolver, node: Node, x: np.ndarray | None) -> list[ChildSpec]:
+        if x is None:
+            return []
+        sap = self.sap
+        terminal_set = set(sap.terminals)
+        decided = {v for v, _d in node.local_data.get("vertex_decisions", ())}
+        best_v = -1
+        best_score = solver.tol.integrality
+        perm = solver.rng.permutation(sap.n)
+        rank = np.empty(sap.n, dtype=np.int64)
+        rank[perm] = np.arange(sap.n)
+        best_rank = sap.n + 1
+        for v in range(sap.n):
+            if v in terminal_set or v in decided or not sap.in_arcs[v]:
+                continue
+            flow_in = float(sum(x[a] for a in sap.in_arcs[v]))
+            score = min(flow_in, 1.0 - flow_in)
+            if score > best_score + 1e-12 or (
+                score > best_score - 1e-12 and rank[v] < best_rank
+            ):
+                best_score, best_v, best_rank = score, v, rank[v]
+        if best_v < 0:
+            return []  # defer to the arc-variable fallback rule
+        v = best_v
+        out_child = ChildSpec(
+            bound_changes={a: (0.0, 0.0) for a in sap.in_arcs[v] + sap.out_arcs[v]},
+            local_update={"vertex_decisions": ((v, "out"),)},
+        )
+        in_row = Cut.from_dict({a: 1.0 for a in sap.in_arcs[v]}, lhs=1.0, name=f"branch_in_{v}")
+        in_child = ChildSpec(
+            local_update={"vertex_decisions": ((v, "in"),)},
+            local_rows=[in_row],
+        )
+        return [out_child, in_child]

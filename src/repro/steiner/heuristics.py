@@ -1,0 +1,174 @@
+"""SPG primal heuristics: TM construction, MST polish, key-vertex search.
+
+The shortest-path (Takahashi–Matsuyama, "TM") heuristic with repeated
+starts is SCIP-Jack's main constructive heuristic; during branch-and-cut
+it is re-run with LP-biased edge costs. ``local_search`` implements
+steiner-vertex insertion/elimination moves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.mst import mst_on_subgraph, prune_steiner_tree
+from repro.utils import make_rng
+
+
+def shortest_path_heuristic(
+    graph: SteinerGraph,
+    start: int | None = None,
+    cost_override: dict[int, float] | None = None,
+) -> tuple[list[int], float] | None:
+    """TM construction: grow a tree by repeatedly connecting the nearest
+    unconnected terminal via a shortest path.
+
+    Returns (edge ids, cost under the *true* costs) or None when some
+    terminal is unreachable. ``cost_override`` only biases the path
+    search (LP guidance), never the reported cost.
+    """
+    terms = [int(t) for t in graph.terminals]
+    if not terms:
+        return [], 0.0
+    if start is None:
+        start = terms[0]
+    in_tree = {start}
+    tree_edges: set[int] = set()
+    unconnected = set(terms) - in_tree
+
+    while unconnected:
+        # multi-source Dijkstra from the current tree
+        dist = np.full(graph.n, math.inf)
+        pred = np.full(graph.n, -1, dtype=np.int64)
+        heap: list[tuple[float, int]] = []
+        for v in in_tree:
+            dist[v] = 0.0
+            heapq.heappush(heap, (0.0, v))
+        target: int | None = None
+        while heap:
+            d, v = heapq.heappop(heap)
+            if d > dist[v]:
+                continue
+            if v in unconnected:
+                target = v
+                break
+            for w, eid, cost in graph.neighbors(v):
+                if cost_override is not None:
+                    cost = cost_override.get(eid, cost)
+                nd = d + cost
+                if nd < dist[w] - 1e-12:
+                    dist[w] = nd
+                    pred[w] = eid
+                    heapq.heappush(heap, (nd, w))
+        if target is None:
+            return None
+        v = target
+        while pred[v] >= 0 and v not in in_tree:
+            eid = int(pred[v])
+            tree_edges.add(eid)
+            in_tree.add(v)
+            v = graph.edges[eid].other(v)
+        in_tree.add(target)
+        unconnected.discard(target)
+
+    # polish: MST over the chosen vertices, then strip useless leaves
+    vertices = set()
+    for eid in tree_edges:
+        e = graph.edges[eid]
+        vertices.add(e.u)
+        vertices.add(e.v)
+    vertices |= set(terms)
+    mst = mst_on_subgraph(graph, vertices)
+    if mst is not None:
+        tree_edges = set(mst[0])
+    pruned, cost = prune_steiner_tree(graph, sorted(tree_edges))
+    return pruned, cost
+
+
+def repeated_shortest_path_heuristic(
+    graph: SteinerGraph,
+    n_starts: int = 8,
+    seed: int = 0,
+    cost_override: dict[int, float] | None = None,
+) -> tuple[list[int], float] | None:
+    """TM from several start terminals (and random non-terminals); best kept."""
+    terms = [int(t) for t in graph.terminals]
+    if not terms:
+        return [], 0.0
+    rng = make_rng(seed)
+    starts: list[int] = terms[: max(1, n_starts // 2)]
+    alive = graph.alive_vertices()
+    if len(alive) and n_starts > len(starts):
+        extra = rng.choice(alive, size=min(n_starts - len(starts), len(alive)), replace=False)
+        starts.extend(int(v) for v in extra)
+    best: tuple[list[int], float] | None = None
+    for s in starts:
+        res = shortest_path_heuristic(graph, s, cost_override)
+        if res is not None and (best is None or res[1] < best[1] - 1e-12):
+            best = res
+    return best
+
+
+def local_search(
+    graph: SteinerGraph,
+    edge_ids: list[int],
+    max_rounds: int = 3,
+) -> tuple[list[int], float]:
+    """Steiner-vertex insertion/elimination local search.
+
+    Insertion: adding a vertex to the tree's vertex set and re-running the
+    MST can shortcut expensive tree paths. Elimination: dropping a
+    non-terminal key vertex (degree >= 3 in the tree) and reconnecting via
+    MST may also improve. Accepts first-improvement moves until a round
+    yields nothing.
+    """
+    current = list(edge_ids)
+    current_cost = sum(graph.edges[e].cost for e in current)
+
+    def tree_vertices(edges_: list[int]) -> set[int]:
+        vs: set[int] = set()
+        for eid in edges_:
+            e = graph.edges[eid]
+            vs.add(e.u)
+            vs.add(e.v)
+        vs.update(int(t) for t in graph.terminals)
+        return vs
+
+    for _round in range(max_rounds):
+        improved = False
+        vertices = tree_vertices(current)
+        # insertion candidates: neighbours of the tree
+        candidates: set[int] = set()
+        for v in vertices:
+            for w, _eid, _c in graph.neighbors(v):
+                if w not in vertices:
+                    candidates.add(w)
+        for cand in sorted(candidates):
+            trial = vertices | {cand}
+            mst = mst_on_subgraph(graph, trial)
+            if mst is None:
+                continue
+            pruned, cost = prune_steiner_tree(graph, mst[0])
+            if cost < current_cost - 1e-9:
+                current, current_cost = pruned, cost
+                improved = True
+                vertices = tree_vertices(current)
+        # elimination candidates: non-terminal tree vertices
+        for cand in sorted(vertices):
+            if graph.is_terminal(cand):
+                continue
+            trial = vertices - {cand}
+            mst = mst_on_subgraph(graph, trial)
+            if mst is None:
+                continue
+            pruned, cost = prune_steiner_tree(graph, mst[0])
+            if cost < current_cost - 1e-9:
+                current, current_cost = pruned, cost
+                improved = True
+                vertices = tree_vertices(current)
+        if not improved:
+            break
+    return current, current_cost

@@ -1,0 +1,96 @@
+"""Dinic max-flow / min-cut on the SAP support digraph.
+
+Used by the directed-cut separator: capacities are the LP arc values and
+a min cut of capacity < 1 between the root and a terminal is exactly a
+violated constraint (4) of the flow-balance directed cut formulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+class MaxFlow:
+    """Dinic's algorithm over an explicit arc list.
+
+    Arcs are given once; capacities can be reset between runs so the
+    separator reuses the structure across terminals and LP rounds.
+    """
+
+    def __init__(self, n: int, arc_tail: np.ndarray, arc_head: np.ndarray) -> None:
+        self.n = n
+        m = len(arc_tail)
+        self.m = m
+        # residual arc storage: forward arcs at 2k, backward at 2k+1
+        self.to = np.empty(2 * m, dtype=np.int64)
+        self.cap = np.zeros(2 * m, dtype=float)
+        self.adj: list[list[int]] = [[] for _ in range(n)]
+        for k in range(m):
+            u, v = int(arc_tail[k]), int(arc_head[k])
+            self.to[2 * k] = v
+            self.to[2 * k + 1] = u
+            self.adj[u].append(2 * k)
+            self.adj[v].append(2 * k + 1)
+
+    def set_capacities(self, capacities: np.ndarray) -> None:
+        self.cap[0::2] = capacities
+        self.cap[1::2] = 0.0
+
+    def _bfs_levels(self, s: int, t: int) -> np.ndarray | None:
+        level = np.full(self.n, -1, dtype=np.int64)
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            v = queue.popleft()
+            for a in self.adj[v]:
+                w = int(self.to[a])
+                if self.cap[a] > 1e-12 and level[w] < 0:
+                    level[w] = level[v] + 1
+                    queue.append(w)
+        return level if level[t] >= 0 else None
+
+    def _dfs_augment(self, v: int, t: int, pushed: float, level: np.ndarray, it: list[int]) -> float:
+        if v == t:
+            return pushed
+        while it[v] < len(self.adj[v]):
+            a = self.adj[v][it[v]]
+            w = int(self.to[a])
+            if self.cap[a] > 1e-12 and level[w] == level[v] + 1:
+                got = self._dfs_augment(w, t, min(pushed, float(self.cap[a])), level, it)
+                if got > 1e-12:
+                    self.cap[a] -= got
+                    self.cap[a ^ 1] += got
+                    return got
+            it[v] += 1
+        return 0.0
+
+    def max_flow(self, s: int, t: int, limit: float = float("inf")) -> float:
+        """Compute max flow from s to t, stopping early once >= limit."""
+        flow = 0.0
+        while flow < limit:
+            level = self._bfs_levels(s, t)
+            if level is None:
+                break
+            it = [0] * self.n
+            while flow < limit:
+                pushed = self._dfs_augment(s, t, limit - flow, level, it)
+                if pushed <= 1e-12:
+                    break
+                flow += pushed
+        return flow
+
+    def min_cut_source_side(self, s: int) -> np.ndarray:
+        """After max_flow: vertices reachable from s in the residual graph."""
+        reach = np.zeros(self.n, dtype=bool)
+        reach[s] = True
+        queue = deque([s])
+        while queue:
+            v = queue.popleft()
+            for a in self.adj[v]:
+                w = int(self.to[a])
+                if self.cap[a] > 1e-12 and not reach[w]:
+                    reach[w] = True
+                    queue.append(w)
+        return reach

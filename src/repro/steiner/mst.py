@@ -1,0 +1,57 @@
+"""Minimum spanning tree utilities (Kruskal) on vertex subsets."""
+
+from __future__ import annotations
+
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.union_find import UnionFind
+
+
+def mst_on_subgraph(graph: SteinerGraph, vertices: set[int]) -> tuple[list[int], float] | None:
+    """Kruskal MST of the subgraph induced by ``vertices``.
+
+    Returns (edge ids, cost) or None if the induced subgraph is not
+    connected.
+    """
+    cand = [
+        (graph.edges[eid].cost, eid)
+        for eid in graph.alive_edges()
+        if graph.edges[eid].u in vertices and graph.edges[eid].v in vertices
+    ]
+    cand.sort()
+    uf = UnionFind(graph.n)
+    chosen: list[int] = []
+    cost = 0.0
+    for c, eid in cand:
+        e = graph.edges[eid]
+        if uf.union(e.u, e.v):
+            chosen.append(eid)
+            cost += c
+    roots = {uf.find(v) for v in vertices}
+    if len(roots) != 1:
+        return None
+    return chosen, cost
+
+
+def prune_steiner_tree(graph: SteinerGraph, edge_ids: list[int]) -> tuple[list[int], float]:
+    """Strip non-terminal leaves from a candidate tree until none remain.
+
+    Standard post-processing of construction heuristics: an MST over the
+    chosen vertices can contain useless non-terminal leaves.
+    """
+    chosen = set(edge_ids)
+    degree: dict[int, list[int]] = {}
+    for eid in chosen:
+        e = graph.edges[eid]
+        degree.setdefault(e.u, []).append(eid)
+        degree.setdefault(e.v, []).append(eid)
+    changed = True
+    while changed:
+        changed = False
+        for v, incident in list(degree.items()):
+            live = [eid for eid in incident if eid in chosen]
+            degree[v] = live
+            if len(live) == 1 and not graph.is_terminal(v):
+                chosen.discard(live[0])
+                changed = True
+    pruned = sorted(chosen)
+    return pruned, sum(graph.edges[e].cost for e in pruned)

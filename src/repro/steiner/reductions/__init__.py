@@ -1,0 +1,18 @@
+"""SPG reduction techniques.
+
+The reduction pipeline is SCIP-Jack's first pillar: degree tests and
+terminal contractions (:mod:`repro.steiner.reductions.basic`), the
+special-distance edge test (:mod:`repro.steiner.reductions.sd`),
+dual-ascent bound-based tests (:mod:`repro.steiner.reductions.bound_based`)
+and the extended reduction techniques (:mod:`repro.steiner.reductions.extended`)
+whose combination with massive B&B let the paper solve bip52u.
+
+All reductions are *optimality preserving*: the optimal value of the
+reduced graph plus its ``fixed_cost`` equals the optimal value of the
+input, and :meth:`SteinerGraph.expand_solution` lifts any optimal reduced
+solution to an optimal original one.
+"""
+
+from repro.steiner.reductions.pipeline import ReductionStats, reduce_graph
+
+__all__ = ["reduce_graph", "ReductionStats"]

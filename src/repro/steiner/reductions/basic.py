@@ -1,0 +1,126 @@
+"""Degree-based tests and terminal contractions.
+
+The classical alternative-based tests:
+
+* **NV/degree-0,1**: a non-terminal of degree <= 1 is never in an optimal
+  tree — delete it.
+* **degree-2**: a non-terminal of degree 2 lies on a path — replace its
+  two edges by one.
+* **terminal degree-1** (NTD1): the single edge of a degree-1 terminal is
+  in every solution — contract it.
+* **adjacent terminals** (NTD2/SD-terminal): an edge between terminals
+  whose cost is minimal among both endpoints' incident edges is in some
+  optimal solution — contract it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.steiner.graph import SteinerGraph
+
+
+def degree_tests(graph: SteinerGraph) -> int:
+    """Run degree-0/1/2 non-terminal tests to a fixpoint; returns #reductions."""
+    reductions = 0
+    queue = deque(int(v) for v in graph.alive_vertices())
+    queued = set(queue)
+    while queue:
+        v = queue.popleft()
+        queued.discard(v)
+        if not graph.vertex_alive[v] or graph.is_terminal(v):
+            continue
+        deg = graph.degree(v)
+        if deg >= 3:
+            continue
+        neighbors = [w for w, _e, _c in graph.neighbors(v)]
+        if deg <= 1:
+            graph.delete_vertex(v)
+        else:
+            graph.replace_path(v)
+        reductions += 1
+        for w in neighbors:
+            if graph.vertex_alive[w] and w not in queued:
+                queue.append(w)
+                queued.add(w)
+    return reductions
+
+
+def terminal_degree1(graph: SteinerGraph) -> int:
+    """Contract the unique edge of every degree-1 terminal; returns #contractions.
+
+    Only valid while at least two terminals remain (a lone terminal needs
+    no tree at all).
+    """
+    reductions = 0
+    changed = True
+    while changed and graph.num_terminals >= 2:
+        changed = False
+        for t in list(graph.terminals):
+            t = int(t)
+            if graph.num_terminals < 2:
+                break
+            inc = graph.incident_edges(t)
+            if len(inc) != 1:
+                continue
+            eid = inc[0]
+            other = graph.edges[eid].other(t)
+            # keep the neighbour alive as the contraction survivor
+            if not graph.is_terminal(other):
+                graph.set_terminal(other, True)
+            graph.contract_into_terminal(eid, other)
+            reductions += 1
+            changed = True
+    return reductions
+
+
+def adjacent_terminals(graph: SteinerGraph) -> int:
+    """Contract terminal-terminal edges that are the cheapest incident edge
+    of one endpoint; returns #contractions.
+
+    Validity: if e = (t1, t2) is the cheapest edge at t1, some optimal
+    tree uses it (exchange argument along the t1-t2 tree path).
+    """
+    reductions = 0
+    changed = True
+    while changed and graph.num_terminals >= 2:
+        changed = False
+        for t in list(graph.terminals):
+            t = int(t)
+            if not graph.vertex_alive[t] or graph.num_terminals < 2:
+                continue
+            best_eid = None
+            best_cost = None
+            for _w, eid, cost in graph.neighbors(t):
+                if best_cost is None or cost < best_cost:
+                    best_cost, best_eid = cost, eid
+            if best_eid is None:
+                continue
+            other = graph.edges[best_eid].other(t)
+            if graph.is_terminal(other):
+                graph.contract_into_terminal(best_eid, other)
+                reductions += 1
+                changed = True
+    return reductions
+
+
+def parallel_edges(graph: SteinerGraph) -> int:
+    """Keep only the cheapest edge of each parallel class; returns #deletions."""
+    reductions = 0
+    for v in graph.alive_vertices():
+        v = int(v)
+        best: dict[int, int] = {}
+        for w, eid, cost in graph.neighbors(v):
+            if w < v:
+                continue
+            if w in best:
+                keep = best[w]
+                if cost < graph.edges[keep].cost:
+                    graph.delete_edge(keep)
+                    best[w] = eid
+                else:
+                    graph.delete_edge(eid)
+                reductions += 1
+            else:
+                best[w] = eid
+    return reductions

@@ -1,0 +1,84 @@
+"""The reduction pipeline: iterated application of all tests.
+
+Mirrors SCIP-Jack's presolve loop: cheap degree/terminal tests first,
+then SD, then bound-based, then (optionally) extended tests, repeated
+until a full round yields nothing. The same pipeline runs once at the
+LoadCoordinator and again on every received subproblem inside the
+ParaSolvers (layered presolving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.reductions.basic import (
+    adjacent_terminals,
+    degree_tests,
+    parallel_edges,
+    terminal_degree1,
+)
+from repro.steiner.reductions.bound_based import bound_based_tests
+from repro.steiner.reductions.extended import extended_edge_test
+from repro.steiner.reductions.sd import sd_edge_test
+
+
+@dataclass
+class ReductionStats:
+    """Per-technique reduction counts of one pipeline run."""
+
+    degree: int = 0
+    terminal: int = 0
+    parallel: int = 0
+    sd: int = 0
+    bound: int = 0
+    extended: int = 0
+    rounds: int = 0
+    by_round: list[int] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.degree + self.terminal + self.parallel + self.sd + self.bound + self.extended
+
+
+def reduce_graph(
+    graph: SteinerGraph,
+    *,
+    use_sd: bool = True,
+    use_bound_based: bool = True,
+    use_extended: bool = False,
+    max_rounds: int = 8,
+    seed: int = 0,
+) -> ReductionStats:
+    """Run the reduction pipeline in place; returns per-technique counts.
+
+    ``use_extended`` enables the extended reduction techniques — off by
+    default at the root (they are comparatively expensive) but switched on
+    for subproblem re-presolve, where the paper reports them to shine.
+    """
+    stats = ReductionStats()
+    for _round in range(max_rounds):
+        before = stats.total
+        stats.parallel += parallel_edges(graph)
+        stats.degree += degree_tests(graph)
+        stats.terminal += terminal_degree1(graph)
+        stats.terminal += adjacent_terminals(graph)
+        stats.degree += degree_tests(graph)
+        if graph.num_terminals < 2:
+            stats.rounds += 1
+            stats.by_round.append(stats.total - before)
+            break
+        if use_sd:
+            stats.sd += sd_edge_test(graph)
+            stats.degree += degree_tests(graph)
+        if use_bound_based and graph.num_terminals >= 2:
+            stats.bound += bound_based_tests(graph, seed=seed)
+            stats.degree += degree_tests(graph)
+        if use_extended and graph.num_terminals >= 2:
+            stats.extended += extended_edge_test(graph)
+            stats.degree += degree_tests(graph)
+        stats.rounds += 1
+        stats.by_round.append(stats.total - before)
+        if stats.total == before:
+            break
+    return stats

@@ -1,0 +1,44 @@
+"""Special-distance (SD) edge deletion test.
+
+An edge (u, v) can be deleted if the bottleneck Steiner distance between
+u and v is smaller than the edge cost: every tree using the edge can be
+improved by swapping it for a cheaper terminal-separated path. We use the
+restricted SD computation of :func:`bottleneck_steiner_distance`, which
+only yields *upper bounds* on the SD — still sound for deletion (a
+cheaper alternative path certainly exists).
+"""
+
+from __future__ import annotations
+
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.shortest_paths import bottleneck_steiner_distance
+
+
+def sd_edge_test(graph: SteinerGraph, max_visits: int = 300) -> int:
+    """Delete edges dominated by the (restricted) special distance."""
+    reductions = 0
+    for v in graph.alive_vertices():
+        v = int(v)
+        inc = graph.incident_edges(v)
+        if not inc:
+            continue
+        limit = max(graph.edges[e].cost for e in inc)
+        sd = bottleneck_steiner_distance(graph, v, limit, max_visits)
+        for eid in inc:
+            e = graph.edges[eid]
+            if not e.alive:
+                continue
+            w = e.other(v)
+            alt = sd.get(w)
+            if alt is None:
+                continue
+            # strict dominance; allow equality only for non-terminal paths
+            # is unsafe to detect here, so require strictly cheaper.
+            if alt < e.cost - 1e-12:
+                # the SD walk may have used the edge itself; re-check by
+                # requiring an alternative: recompute without is overkill —
+                # the walk relaxes via the edge only with length >= cost, so
+                # alt < cost implies an alternative path. Safe to delete.
+                graph.delete_edge(eid)
+                reductions += 1
+    return reductions

@@ -1,0 +1,429 @@
+"""SCIP-Jack analogue: the customized Steiner tree CIP solver.
+
+Assembles the CIP plugin stack for the flow-balance directed cut
+formulation (Formulation 1 of the paper): reduction presolve, dual
+ascent for the root bound and arc fixing, the max-flow cut handler,
+LP-biased TM heuristics and vertex branching.
+
+UG integration contract
+-----------------------
+A subproblem travels as *vertex decisions* (``(v, "in"|"out")`` on the
+LoadCoordinator-presolved graph) plus *arc fixings* (keyed by stable edge
+ids). :meth:`SteinerSolver.prepare` rebuilds the subproblem: copy the
+root-presolved graph, apply decisions, delete fully-fixed-out edges,
+re-run the reduction pipeline (**layered presolving**), then re-apply
+surviving arc fixings. Fixings whose edge was consumed by a reduction
+are dropped — this relaxes the subproblem (never cuts off solutions, so
+bounds stay valid; siblings cover the search space), mirroring the
+engineering trade-offs the UG papers describe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.cip.branching import MostFractionalBranching
+from repro.cip.model import Model, VarType
+from repro.cip.node import Node
+from repro.cip.params import ParamSet
+from repro.cip.plugins import Heuristic, PropagationResult, PropagationStatus, Propagator
+from repro.cip.result import SolveResult, SolveStatus
+from repro.cip.solver import CIPSolver
+from repro.exceptions import GraphError
+from repro.steiner.branching import SteinerVertexBranching
+from repro.steiner.dual_ascent import DualAscentResult, dual_ascent
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.heuristics import local_search, repeated_shortest_path_heuristic
+from repro.steiner.reductions import ReductionStats, reduce_graph
+from repro.steiner.separators import SteinerCutHandler
+from repro.steiner.transformations import SAPDigraph, arborescence_from_arcs, spg_to_sap
+from repro.steiner.validation import validate_tree
+
+VertexDecision = tuple[int, str]  # (vertex id, "in" | "out")
+ArcFixing = tuple[int, int, float, float]  # (edge id, head vertex, lb, ub)
+
+
+@dataclass
+class SteinerData:
+    """Problem payload attached to the CIP model."""
+
+    graph: SteinerGraph
+    sap: SAPDigraph
+    dual_ascent: DualAscentResult | None = None
+
+
+@dataclass
+class SteinerSolution:
+    """Final outcome in original-graph terms."""
+
+    status: SolveStatus
+    cost: float
+    edges: list[int]  # original edge ids
+    dual_bound: float
+    nodes_processed: int
+    reduction_stats: ReductionStats | None = None
+    stats: Any = None
+
+
+class DualAscentHeuristic(Heuristic):
+    """Ascend-and-prune: build a tree inside the dual-ascent support.
+
+    Wong's dual ascent saturates exactly the arcs a cheap arborescence
+    would use; running the TM construction restricted to edges with a
+    saturated arc yields strong primal solutions essentially for free —
+    the paper's §3.1 notes dual ascent is used "to find a feasible
+    solution" alongside selecting the initial LP rows.
+    """
+
+    name = "steiner_ascend_prune"
+    priority = 60
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._ran = False
+
+    def run(self, solver: CIPSolver, node: Node, x: np.ndarray | None) -> None:
+        if self._ran:
+            return
+        self._ran = True
+        data: SteinerData = solver.model.data
+        da = data.dual_ascent
+        if da is None:
+            return
+        graph, sap = data.graph, data.sap
+        override: dict[int, float] = {}
+        huge = float(sap.arc_cost.sum()) + 1.0
+        for k, eid in enumerate(graph.alive_edges()):
+            if not (da.saturated_arcs[2 * k] or da.saturated_arcs[2 * k + 1]):
+                override[eid] = huge  # effectively banned from path searches
+        res = repeated_shortest_path_heuristic(graph, n_starts=3, seed=self.seed, cost_override=override)
+        if res is None:
+            return
+        edges, cost = local_search(graph, res[0], max_rounds=1)
+        _offer_tree_solution(solver, edges, cost)
+
+
+class SteinerLPHeuristic(Heuristic):
+    """TM construction biased by the LP solution, plus local search.
+
+    Edge costs are scaled by ``1 - max(y_a, y_a')`` so the path searches
+    gravitate toward the LP support — SCIP-Jack's standard trick for its
+    constructive heuristics during branch-and-cut.
+    """
+
+    name = "steiner_tm"
+    priority = 50
+
+    def __init__(self, seed: int = 0, n_starts: int = 4) -> None:
+        self.seed = seed
+        self.n_starts = n_starts
+        self._calls = 0
+
+    def run(self, solver: CIPSolver, node: Node, x: np.ndarray | None) -> None:
+        data: SteinerData = solver.model.data
+        graph, sap = data.graph, data.sap
+        override: dict[int, float] | None = None
+        if x is not None:
+            override = {}
+            for k, eid in enumerate(graph.alive_edges()):
+                lp_weight = max(float(x[2 * k]), float(x[2 * k + 1]))
+                cost = graph.edges[eid].cost
+                override[eid] = cost * max(1.0 - lp_weight, 0.02)
+        self._calls += 1
+        res = repeated_shortest_path_heuristic(
+            graph, n_starts=self.n_starts, seed=self.seed + self._calls, cost_override=override
+        )
+        if res is None:
+            return
+        edges, cost = local_search(graph, res[0], max_rounds=1)
+        _offer_tree_solution(solver, edges, cost)
+
+
+def _offer_tree_solution(solver: CIPSolver, edges: list[int], cost: float) -> bool:
+    """Convert a reduced-graph edge tree into an arc vector and offer it."""
+    data: SteinerData = solver.model.data
+    graph, sap = data.graph, data.sap
+    value = cost + solver.model.obj_offset
+    if solver.incumbent is not None and value >= solver.incumbent.value - solver.tol.eps:
+        return False
+    x = _tree_to_arc_vector(graph, sap, edges)
+    if x is None:
+        return False
+    orig_edges, orig_cost = graph.expand_solution(edges)
+    accepted = solver.add_solution(value, x, data=sorted(set(orig_edges)), check=True)
+    if accepted:
+        solver.stats.heuristic_solutions += 1
+    return accepted
+
+
+def _tree_to_arc_vector(graph: SteinerGraph, sap: SAPDigraph, edges: list[int]) -> np.ndarray | None:
+    """Orient a tree (edge ids) away from the SAP root into an arc vector."""
+    arc_of = {}
+    for a in range(sap.num_arcs):
+        arc_of[(int(sap.arc_tail[a]), int(sap.arc_head[a]), int(sap.arc_edge[a]))] = a
+    adjacency: dict[int, list[tuple[int, int]]] = {}
+    for eid in edges:
+        e = graph.edges[eid]
+        adjacency.setdefault(e.u, []).append((e.v, eid))
+        adjacency.setdefault(e.v, []).append((e.u, eid))
+    x = np.zeros(sap.num_arcs)
+    visited = {sap.root}
+    stack = [sap.root]
+    used = 0
+    while stack:
+        v = stack.pop()
+        for w, eid in adjacency.get(v, ()):
+            if w in visited:
+                continue
+            a = arc_of.get((v, w, eid))
+            if a is None:
+                return None
+            x[a] = 1.0
+            visited.add(w)
+            stack.append(w)
+            used += 1
+    if used != len(edges):
+        return None  # tree not connected to the root component
+    return x
+
+
+class DualAscentFixingPropagator(Propagator):
+    """Reduced-cost arc fixing from the root dual ascent.
+
+    An arc whose fixing bound exceeds the cutoff cannot be in an improving
+    solution — fix it to zero. This is the "reduced cost based domain
+    propagation" of the paper's §3.1 (it needs a strong primal bound to
+    bite, which is why the heuristics matter so much).
+    """
+
+    name = "dual_ascent_fixing"
+    priority = 40
+
+    def propagate(self, solver: CIPSolver, node: Node) -> PropagationResult:
+        data: SteinerData = solver.model.data
+        da = data.dual_ascent
+        if da is None or solver.incumbent is None:
+            return PropagationResult()
+        cutoff = solver.cutoff_bound - solver.model.obj_offset
+        if not math.isfinite(cutoff):
+            return PropagationResult()
+        sap = data.sap
+        tightened = 0
+        for a in range(sap.num_arcs):
+            lo, hi = solver.local_bounds(a)
+            if hi <= 0.0 or lo >= 1.0:
+                continue
+            bound = da.arc_fixing_bound(a, int(sap.arc_tail[a]), int(sap.arc_head[a]))
+            if bound > cutoff + 1e-9 and solver.tighten_ub(a, 0.0):
+                tightened += 1
+        status = PropagationStatus.REDUCED if tightened else PropagationStatus.UNCHANGED
+        return PropagationResult(status, tightened)
+
+
+class SteinerSolver:
+    """High-level SPG solver: presolve + branch-and-cut on the SAP."""
+
+    def __init__(
+        self,
+        graph: SteinerGraph,
+        params: ParamSet | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.original = graph.copy()
+        self.params = params or ParamSet(heur_frequency=5)
+        self.seed = seed
+        self.reduction_stats: ReductionStats | None = None
+        self.cip: CIPSolver | None = None
+        self._graph: SteinerGraph | None = None
+        self._trivial_solution: tuple[list[int], float] | None = None
+
+    # -- subproblem construction (LC presolve & layered presolve) -----------
+
+    def prepare(
+        self,
+        decisions: tuple[VertexDecision, ...] = (),
+        arc_fixings: tuple[ArcFixing, ...] = (),
+        cutoff_value: float | None = None,
+        use_extended: bool | None = None,
+        reduce: bool = True,
+        dual_bound_estimate: float = -math.inf,
+    ) -> None:
+        """Build the (sub)problem: copy, apply decisions, re-presolve, model."""
+        graph = self.original.copy()
+        for v, action in decisions:
+            if not graph.vertex_alive[v]:
+                raise GraphError(f"decision on dead vertex {v}")
+            if action == "out":
+                graph.delete_vertex(v)
+            elif action == "in":
+                graph.set_terminal(v, True)
+            else:
+                raise GraphError(f"unknown decision {action!r}")
+        # fully-out-fixed edges can be removed before re-reduction
+        zero_edges: dict[int, int] = {}
+        live_fixings: list[ArcFixing] = []
+        for eid, head, lo, hi in arc_fixings:
+            if hi <= 0.0:
+                zero_edges[eid] = zero_edges.get(eid, 0) + 1
+            live_fixings.append((eid, head, lo, hi))
+        for eid, count in zero_edges.items():
+            if count >= 2 and eid < len(graph.edges) and graph.edges[eid].alive:
+                graph.delete_edge(eid)
+        if reduce and self.params.presolve:
+            extended = (
+                use_extended
+                if use_extended is not None
+                else bool(self.params.get_extra("steiner/extended_reductions", False))
+            )
+            self.reduction_stats = reduce_graph(
+                graph,
+                use_extended=extended,
+                seed=self.seed,
+            )
+        self._graph = graph
+
+        if graph.num_terminals <= 1:
+            # solved by presolve alone
+            self._trivial_solution = (sorted(set(graph.fixed_edges)), graph.fixed_cost)
+            self.cip = None
+            return
+        self._trivial_solution = None
+        self.cip = self._build_cip(graph, live_fixings, dual_bound_estimate)
+        if cutoff_value is not None:
+            self.cip.set_cutoff_value(cutoff_value)
+
+    def _build_cip(
+        self,
+        graph: SteinerGraph,
+        arc_fixings: list[ArcFixing],
+        dual_bound_estimate: float = -math.inf,
+    ) -> CIPSolver:
+        sap = spg_to_sap(graph)
+        da = dual_ascent(sap)
+        model = Model("steiner", data=SteinerData(graph, sap, da))
+        model.obj_offset = graph.fixed_cost
+        model.objective_integral = all(
+            float(graph.edges[e].cost).is_integer() for e in graph.alive_edges()
+        ) and float(graph.fixed_cost).is_integer()
+        for a in range(sap.num_arcs):
+            model.add_variable(f"y{a}", VarType.BINARY, obj=float(sap.arc_cost[a]))
+        # re-apply arc fixings that survived re-presolve
+        arc_lookup = {
+            (int(sap.arc_edge[a]), int(sap.arc_head[a])): a for a in range(sap.num_arcs)
+        }
+        for eid, head, lo, hi in arc_fixings:
+            a = arc_lookup.get((eid, head))
+            if a is not None:
+                v = model.variables[a]
+                v.lb, v.ub = max(v.lb, lo), min(v.ub, hi)
+                if v.lb > v.ub:
+                    v.ub = v.lb  # contradictory fixings: child is infeasible via rows
+        # degree rows
+        for t in sap.sinks():
+            model.add_constraint({a: 1.0 for a in sap.in_arcs[t]}, lhs=1.0, rhs=1.0, name=f"deg_t{t}")
+        if sap.in_arcs[sap.root]:
+            model.add_constraint({a: 1.0 for a in sap.in_arcs[sap.root]}, lhs=0.0, rhs=0.0, name="deg_root")
+        terminal_set = set(sap.terminals)
+        flow_balance_budget = 6000
+        for v in range(sap.n):
+            if v in terminal_set or not graph.vertex_alive[v]:
+                continue
+            in_a, out_a = sap.in_arcs[v], sap.out_arcs[v]
+            if not in_a:
+                continue
+            model.add_constraint({a: 1.0 for a in in_a}, rhs=1.0, name=f"deg_v{v}")
+            # flow balance (5): y(in) <= y(out)
+            coefs = {a: -1.0 for a in in_a}
+            for a in out_a:
+                coefs[a] = coefs.get(a, 0.0) + 1.0
+            model.add_constraint(coefs, lhs=0.0, name=f"fb_{v}")
+            # strengthening (6): y(in) >= y_a for each outgoing arc
+            if model.num_constraints < flow_balance_budget:
+                for a in out_a:
+                    c6 = {b: 1.0 for b in in_a}
+                    c6[a] = c6.get(a, 0.0) - 1.0
+                    model.add_constraint(c6, lhs=0.0, name=f"fb6_{v}_{a}")
+
+        params = self.params.with_changes(presolve=False)  # graph presolve already done
+        cip = CIPSolver(model, params)
+        cip.include_constraint_handler(SteinerCutHandler(sap))
+        cip.include_propagator(DualAscentFixingPropagator())
+        cip.include_heuristic(DualAscentHeuristic(seed=self.seed))
+        cip.include_heuristic(SteinerLPHeuristic(seed=self.seed))
+        cip.include_branching_rule(SteinerVertexBranching(sap))
+        cip.include_branching_rule(MostFractionalBranching())
+        cip.setup(root_estimate=max(da.lower_bound + model.obj_offset, dual_bound_estimate))
+        return cip
+
+    # -- solving ----------------------------------------------------------------
+
+    def solve(self, node_limit: int | None = None, time_limit: float | None = None) -> SteinerSolution:
+        """Presolve (if not prepared) and run branch-and-cut to completion."""
+        if self.cip is None and self._trivial_solution is None:
+            self.prepare()
+        if self._trivial_solution is not None:
+            edges, cost = self._trivial_solution
+            validate_tree(self.original, edges, original=True)
+            return SteinerSolution(SolveStatus.OPTIMAL, cost, edges, cost, 0, self.reduction_stats)
+        assert self.cip is not None
+        result = self.cip.solve(node_limit=node_limit, time_limit=time_limit)
+        return self._to_solution(result)
+
+    def _to_solution(self, result: SolveResult) -> SteinerSolution:
+        edges: list[int] = []
+        cost = math.inf
+        if result.best_solution is not None:
+            cost = result.best_solution.value
+            edges = self.extract_original_edges()
+        return SteinerSolution(
+            result.status,
+            cost,
+            edges,
+            result.dual_bound,
+            result.nodes_processed,
+            self.reduction_stats,
+            result.stats,
+        )
+
+    def extract_original_edges(self) -> list[int]:
+        """Original-graph edge ids of the current incumbent."""
+        assert self.cip is not None
+        inc = self.cip.incumbent
+        if inc is None:
+            return []
+        if inc.data is not None:
+            return list(inc.data)
+        assert inc.x is not None
+        data: SteinerData = self.cip.model.data
+        arcs = arborescence_from_arcs(data.sap, inc.x)
+        edge_ids = [int(data.sap.arc_edge[a]) for a in arcs]
+        orig, _cost = data.graph.expand_solution(edge_ids)
+        return sorted(set(orig))
+
+    # -- UG-facing helpers ---------------------------------------------------
+
+    def node_to_subproblem(self, node: Node) -> tuple[tuple[VertexDecision, ...], tuple[ArcFixing, ...]]:
+        """Serialize an extracted CIP node into solver-independent form."""
+        assert self.cip is not None
+        data: SteinerData = self.cip.model.data
+        sap = data.sap
+        decisions = tuple(node.local_data.get("vertex_decisions", ()))
+        decided_out = {v for v, d in decisions if d == "out"}
+        fixings: list[ArcFixing] = []
+        for a, (lo, hi) in node.bound_changes.items():
+            if a >= sap.num_arcs:
+                continue
+            tail, head = int(sap.arc_tail[a]), int(sap.arc_head[a])
+            if tail in decided_out or head in decided_out:
+                continue  # subsumed by the vertex deletion
+            if lo > 0.0 or hi < 1.0:
+                fixings.append((int(sap.arc_edge[a]), head, float(lo), float(hi)))
+        return decisions, tuple(fixings)
+
+    @property
+    def graph(self) -> SteinerGraph | None:
+        return self._graph

@@ -1,0 +1,101 @@
+"""SteinLib ``.stp`` format reader/writer.
+
+Supports the sections used by the SPG instances of SteinLib (PUC, I640,
+...): ``Comment``, ``Graph`` (Nodes/Edges/E lines, 1-based ids) and
+``Terminals`` (T lines). Prize-collecting extensions are out of scope of
+the paper's experiments and are rejected explicitly.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.exceptions import GraphError
+from repro.steiner.graph import SteinerGraph
+
+
+def parse_stp(text: str) -> SteinerGraph:
+    """Parse SteinLib text into a :class:`SteinerGraph`."""
+    lines = [ln.strip() for ln in text.splitlines()]
+    n_nodes: int | None = None
+    edges: list[tuple[int, int, float]] = []
+    terminals: list[int] = []
+    section = ""
+    for raw in lines:
+        if not raw or raw.startswith("#"):
+            continue
+        low = raw.lower()
+        if low.startswith("section"):
+            section = low.split(None, 1)[1] if len(low.split()) > 1 else ""
+            continue
+        if low == "end" or low == "eof":
+            section = ""
+            continue
+        parts = raw.split()
+        key = parts[0].lower()
+        if section.startswith("graph"):
+            if key == "nodes":
+                n_nodes = int(parts[1])
+            elif key in ("e", "a"):
+                u, v, c = int(parts[1]), int(parts[2]), float(parts[3])
+                edges.append((u - 1, v - 1, c))
+            elif key == "edges" or key == "arcs":
+                continue
+        elif section.startswith("terminals"):
+            if key == "t":
+                terminals.append(int(parts[1]) - 1)
+            elif key == "terminals":
+                continue
+            elif key in ("rootp", "root", "tp"):
+                raise GraphError("prize-collecting STP sections are not supported")
+        elif section.startswith("maximumdegrees") or section.startswith("coordinates"):
+            continue
+    if n_nodes is None:
+        raise GraphError("missing 'Nodes' line in Graph section")
+    g = SteinerGraph.create(n_nodes)
+    for u, v, c in edges:
+        if u == v:
+            continue
+        g.add_edge(u, v, c)
+    for t in terminals:
+        g.set_terminal(t)
+    if g.num_terminals == 0:
+        raise GraphError("instance has no terminals")
+    return g
+
+
+def read_stp(path: str | Path) -> SteinerGraph:
+    """Read a SteinLib ``.stp`` file."""
+    return parse_stp(Path(path).read_text())
+
+
+def write_stp(graph: SteinerGraph, name: str = "instance") -> str:
+    """Serialize the alive part of ``graph`` in SteinLib format.
+
+    Vertex ids are compacted to 1..|V_alive| in the output.
+    """
+    buf = io.StringIO()
+    buf.write("33D32945 STP File, STP Format Version 1.0\n\n")
+    buf.write("SECTION Comment\n")
+    buf.write(f'Name    "{name}"\n')
+    buf.write('Creator "repro"\n')
+    buf.write("END\n\n")
+    alive = list(graph.alive_vertices())
+    remap = {int(v): i + 1 for i, v in enumerate(alive)}
+    live_edges = graph.alive_edges()
+    buf.write("SECTION Graph\n")
+    buf.write(f"Nodes {len(alive)}\n")
+    buf.write(f"Edges {len(live_edges)}\n")
+    for eid in live_edges:
+        e = graph.edges[eid]
+        cost = int(e.cost) if float(e.cost).is_integer() else e.cost
+        buf.write(f"E {remap[e.u]} {remap[e.v]} {cost}\n")
+    buf.write("END\n\n")
+    buf.write("SECTION Terminals\n")
+    terms = [int(t) for t in graph.terminals]
+    buf.write(f"Terminals {len(terms)}\n")
+    for t in terms:
+        buf.write(f"T {remap[t]}\n")
+    buf.write("END\n\nEOF\n")
+    return buf.getvalue()

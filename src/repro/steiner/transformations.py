@@ -1,0 +1,99 @@
+"""Graph transformations: SPG -> Steiner arborescence problem (SAP).
+
+SCIP-Jack transforms every problem class to the SAP; for the SPG each
+undirected edge becomes an antiparallel arc pair and an arbitrary
+terminal becomes the root. The arc <-> undirected-edge mapping is kept so
+LP solutions and branching decisions can be mapped back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.steiner.graph import SteinerGraph
+
+
+@dataclass
+class SAPDigraph:
+    """Steiner arborescence instance in arc-array form."""
+
+    n: int
+    root: int
+    arc_tail: np.ndarray
+    arc_head: np.ndarray
+    arc_cost: np.ndarray
+    arc_edge: np.ndarray  # undirected edge id each arc came from (-1: none)
+    terminals: list[int]  # all terminals, including the root
+    out_arcs: list[list[int]] = field(default_factory=list)
+    in_arcs: list[list[int]] = field(default_factory=list)
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.arc_tail)
+
+    def sinks(self) -> list[int]:
+        """Terminals that must be reached from the root."""
+        return [t for t in self.terminals if t != self.root]
+
+    def reverse_arc(self, a: int) -> int | None:
+        """Index of the antiparallel partner arc (SPG build pairs arcs)."""
+        partner = a ^ 1
+        if partner < self.num_arcs and self.arc_edge[partner] == self.arc_edge[a]:
+            return partner
+        return None
+
+
+def spg_to_sap(graph: SteinerGraph, root: int | None = None) -> SAPDigraph:
+    """Build the SAP bidirection of an SPG.
+
+    Arcs come in pairs ``(2k, 2k+1)`` sharing undirected edge ``k``'s cost;
+    the root defaults to the lowest-id terminal.
+    """
+    terms = [int(t) for t in graph.terminals]
+    if not terms:
+        raise GraphError("SPG has no terminals")
+    if root is None:
+        root = terms[0]
+    elif root not in terms:
+        raise GraphError(f"root {root} is not a terminal")
+    alive = graph.alive_edges()
+    m = len(alive)
+    arc_tail = np.empty(2 * m, dtype=np.int64)
+    arc_head = np.empty(2 * m, dtype=np.int64)
+    arc_cost = np.empty(2 * m, dtype=float)
+    arc_edge = np.empty(2 * m, dtype=np.int64)
+    for k, eid in enumerate(alive):
+        e = graph.edges[eid]
+        arc_tail[2 * k], arc_head[2 * k] = e.u, e.v
+        arc_tail[2 * k + 1], arc_head[2 * k + 1] = e.v, e.u
+        arc_cost[2 * k] = arc_cost[2 * k + 1] = e.cost
+        arc_edge[2 * k] = arc_edge[2 * k + 1] = eid
+    out_arcs: list[list[int]] = [[] for _ in range(graph.n)]
+    in_arcs: list[list[int]] = [[] for _ in range(graph.n)]
+    for a in range(2 * m):
+        out_arcs[arc_tail[a]].append(a)
+        in_arcs[arc_head[a]].append(a)
+    return SAPDigraph(graph.n, root, arc_tail, arc_head, arc_cost, arc_edge, terms, out_arcs, in_arcs)
+
+
+def arborescence_from_arcs(sap: SAPDigraph, arc_values: np.ndarray, tol: float = 1e-6) -> list[int]:
+    """Arcs with value ~1 trimmed to an arborescence rooted at ``sap.root``.
+
+    Follows root-reachability through selected arcs and drops everything
+    unreachable; used to turn integral LP points into clean trees.
+    """
+    selected = {a for a in range(sap.num_arcs) if arc_values[a] > 1.0 - tol}
+    reached = {sap.root}
+    tree: list[int] = []
+    frontier = [sap.root]
+    while frontier:
+        v = frontier.pop()
+        for a in sap.out_arcs[v]:
+            if a in selected and sap.arc_head[a] not in reached:
+                reached.add(int(sap.arc_head[a]))
+                tree.append(a)
+                frontier.append(int(sap.arc_head[a]))
+    return tree

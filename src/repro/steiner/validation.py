@@ -1,0 +1,44 @@
+"""Validation of Steiner tree solutions against a graph."""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphError
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.union_find import UnionFind
+
+
+def validate_tree(graph: SteinerGraph, edge_ids: list[int], *, original: bool = False) -> float:
+    """Check that ``edge_ids`` form a cycle-free subgraph connecting all
+    terminals; returns its cost.
+
+    With ``original=True`` the ids refer to the *original* edge list
+    (ancestor ids), so deleted edges are permitted — this is how expanded
+    solutions from reduced graphs are validated.
+
+    Raises
+    ------
+    GraphError
+        If the edge set contains a cycle, duplicates, or fails to connect
+        the terminals.
+    """
+    seen = set()
+    uf = UnionFind(graph.n)
+    cost = 0.0
+    for eid in edge_ids:
+        if eid in seen:
+            raise GraphError(f"edge {eid} listed twice")
+        seen.add(eid)
+        e = graph.edges[eid]
+        if not original and not e.alive:
+            raise GraphError(f"edge {eid} is deleted")
+        if not uf.union(e.u, e.v):
+            raise GraphError(f"edge {eid} closes a cycle")
+        cost += e.cost
+    terms = [int(t) for t in graph.terminals]
+    if original:
+        # terminal set may have shrunk by contractions; use the mask as-is
+        terms = [v for v in range(graph.n) if graph.terminal_mask[v]]
+    for t in terms[1:]:
+        if not uf.connected(terms[0], t):
+            raise GraphError(f"terminals {terms[0]} and {t} are not connected")
+    return cost

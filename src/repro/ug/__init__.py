@@ -1,0 +1,50 @@
+"""UG — Ubiquity Generator framework analogue.
+
+A generic parallelization layer for branch-and-bound *base solvers*,
+implementing the Supervisor–Worker scheme of the paper's Algorithms 1–2:
+
+* the :class:`~repro.ug.load_coordinator.LoadCoordinator` keeps a small
+  pool of solver-independent subproblems (:class:`~repro.ug.para_node.ParaNode`)
+  extracted from the solvers for load balancing, while the B&B trees stay
+  inside the :class:`~repro.ug.para_solver.ParaSolver` workers;
+* ramp-up is *normal* (grow from one solver) or *racing* (all solvers
+  attack the root under different parameter settings; a winner is chosen
+  and its open nodes are redistributed), including customized racing with
+  application-supplied setting lists;
+* *layered presolving*: the instance is presolved once at the
+  LoadCoordinator and every received subproblem is presolved again inside
+  its ParaSolver;
+* checkpointing stores only *primitive* nodes (no ancestor in the LC) and
+  restarting re-applies global presolve.
+
+Two interchangeable run-time engines drive the same coordinator/solver
+state machines: :class:`~repro.ug.engines.ThreadEngine` (real Python
+threads — the Pthreads/C++11 analogue) and
+:class:`~repro.ug.engines.SimEngine` (deterministic virtual-time
+discrete-event simulation — the MPI/supercomputer analogue, see
+DESIGN.md §4 for the substitution argument).
+
+Naming follows the paper: an instantiated solver is
+``ug[<base solver>, <library>]``, e.g. ``ug[SteinerJack, SimMPI]``.
+"""
+
+from repro.ug.para_node import ParaNode
+from repro.ug.para_solution import ParaSolution
+from repro.ug.messages import Message, MessageTag
+from repro.ug.user_plugins import SolverHandle, HandleStep, UserPlugins
+from repro.ug.instantiation import UGSolver, UGResult, ug
+from repro.ug.statistics import UGStatistics
+
+__all__ = [
+    "ParaNode",
+    "ParaSolution",
+    "Message",
+    "MessageTag",
+    "SolverHandle",
+    "HandleStep",
+    "UserPlugins",
+    "UGSolver",
+    "UGResult",
+    "ug",
+    "UGStatistics",
+]

@@ -1,0 +1,45 @@
+"""UG run configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class UGConfig:
+    """Knobs of a ug[...] run.
+
+    Times are in virtual seconds under the SimEngine, wall-clock seconds
+    under the ThreadEngine.
+    """
+
+    ramp_up: str = "normal"  # "normal" | "racing"
+
+    # racing ramp-up: winner is declared at the deadline, or earlier when
+    # some racer accumulates this many open nodes
+    racing_deadline: float = 0.5
+    racing_open_node_threshold: int = 50
+
+    # dynamic load balancing (Algorithm 1's collect mode)
+    pool_buffer: int = 1  # want at least n_idle + buffer heavy nodes pooled
+    pool_high_watermark_factor: float = 2.0
+    max_collectors: int = 4
+    min_open_to_shed: int = 4  # a collecting solver keeps this many nodes
+
+    # bound pruning: a node with dual_bound >= incumbent - objective_epsilon
+    # is discarded; set to 1 - 1e-6 for integral-objective instances
+    objective_epsilon: float = 1e-9
+
+    # worker status cadence, in work units
+    status_interval_work: float = 0.05
+
+    # checkpointing
+    checkpoint_path: str | None = None
+    checkpoint_interval: float = 5.0
+
+    # limits
+    time_limit: float = float("inf")
+    node_limit: int = 10**12
+
+    # SimEngine message latency (virtual seconds)
+    latency: float = 1e-4

@@ -1,0 +1,253 @@
+"""Run-time engines driving the LoadCoordinator/ParaSolver state machines.
+
+Both engines execute the *same* protocol code:
+
+* :class:`SimEngine` — deterministic discrete-event simulation over a
+  virtual clock. Each ParaSolver advances by its base solver's reported
+  work units; messages take ``latency`` virtual seconds. This is the
+  substitute for MPI runs on supercomputers (DESIGN.md §4): speedups,
+  idle ratios and ramp-up dynamics are properties of the coordination
+  algorithm which the simulation reproduces bit-identically at any
+  simulated scale.
+* :class:`ThreadEngine` — real Python threads with queues (the
+  Pthreads/C++11 analogue): proves the protocol is genuinely concurrent
+  and delivers modest real-time speedups where the GIL allows.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import threading
+import time
+from typing import Any
+
+from repro.exceptions import CommError
+from repro.ug.config import UGConfig
+from repro.ug.load_coordinator import LoadCoordinator
+from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag
+from repro.ug.para_solver import ParaSolver
+
+
+class SimEngine:
+    """Deterministic virtual-time engine."""
+
+    def __init__(
+        self,
+        lc: LoadCoordinator,
+        solvers: dict[int, ParaSolver],
+        config: UGConfig,
+        max_events: int = 5_000_000,
+        wall_clock_limit: float = float("inf"),
+    ) -> None:
+        self.lc = lc
+        self.solvers = solvers
+        self.config = config
+        self.max_events = max_events
+        self.wall_clock_limit = wall_clock_limit
+        self._events: list[tuple[float, int, str, int, Message | None]] = []
+        self._seq = itertools.count()
+        self._clock: dict[int, float] = {r: 0.0 for r in solvers}
+        self._busy: dict[int, float] = {r: 0.0 for r in solvers}
+        self._wake_scheduled: set[int] = set()
+        self._inbox: dict[int, list[Message]] = {r: [] for r in solvers}
+        self.now = 0.0
+        self.virtual_time = 0.0
+
+    # -- event plumbing --------------------------------------------------------
+
+    def _push(self, t: float, kind: str, rank: int, msg: Message | None = None) -> None:
+        heapq.heappush(self._events, (t, next(self._seq), kind, rank, msg))
+
+    def _send_factory(self, src: int, when: lambda: float):  # type: ignore[valid-type]
+        def send(dst: int, tag: MessageTag, payload: Any) -> None:
+            msg = Message(tag=tag, src=src, dst=dst, payload=payload)
+            t = when() + self.config.latency
+            if dst == LOAD_COORDINATOR_RANK:
+                self._push(t, "lcmsg", dst, msg)
+            else:
+                if dst not in self.solvers:
+                    raise CommError(f"unknown rank {dst}")
+                self._push(t, "smsg", dst, msg)
+
+        return send
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self) -> None:
+        lc_send_time = [0.0]
+        lc_send = self._send_factory(LOAD_COORDINATOR_RANK, lambda: lc_send_time[0])
+        self.lc.start(lc_send, 0.0)
+        start_wall = time.perf_counter()
+        events_done = 0
+        interrupted = False
+        while self._events:
+            t, _, kind, rank, msg = heapq.heappop(self._events)
+            self.now = t
+            self.virtual_time = max(self.virtual_time, t)
+            events_done += 1
+            if events_done > self.max_events:
+                raise CommError("SimEngine exceeded max_events — protocol livelock?")
+
+            over_time = t >= self.config.time_limit
+            over_nodes = (
+                sum(s.nodes_processed_total for s in self.solvers.values()) >= self.config.node_limit
+            )
+            over_wall = time.perf_counter() - start_wall >= self.wall_clock_limit
+            if not interrupted and not self.lc.finished and (over_time or over_nodes or over_wall):
+                interrupted = True
+                lc_send_time[0] = t
+                self.lc.interrupt(lc_send, t)
+
+            if kind == "lcmsg":
+                assert msg is not None
+                lc_send_time[0] = t
+                if not self.lc.finished:
+                    self.lc.handle_message(msg, lc_send, t)
+                    self.lc.on_tick(lc_send, t)
+            elif kind == "smsg":
+                assert msg is not None
+                self._inbox[rank].append(msg)
+                self._clock[rank] = max(self._clock[rank], t)
+                self._schedule_wake(rank)
+            elif kind == "wake":
+                self._wake_scheduled.discard(rank)
+                self._run_solver(rank)
+        if not self.lc.finished:
+            lc_send_time[0] = self.virtual_time
+            self.lc.interrupt(lc_send, self.virtual_time)
+        # drain termination messages so solver states are final
+        while self._events:
+            t, _, kind, rank, msg = heapq.heappop(self._events)
+            if kind == "smsg" and msg is not None:
+                solver = self.solvers[rank]
+                solver.handle_message(msg, lambda *a, **k: None)
+        self.lc.stats.solver_busy = dict(self._busy)
+        self._compute_idle_ratio()
+
+    def _schedule_wake(self, rank: int) -> None:
+        if rank not in self._wake_scheduled:
+            self._wake_scheduled.add(rank)
+            self._push(self._clock[rank], "wake", rank)
+
+    def _run_solver(self, rank: int) -> None:
+        solver = self.solvers[rank]
+        clock = self._clock[rank]
+        send = self._send_factory(rank, lambda: self._clock[rank])
+        for msg in self._inbox[rank]:
+            solver.handle_message(msg, send)
+        self._inbox[rank].clear()
+        if solver.state == "terminated":
+            return
+        work = solver.do_work(send)
+        if work is not None:
+            self._clock[rank] = clock + work
+            self._busy[rank] += work
+            self._schedule_wake(rank)
+        # idle solvers sleep until the next message arrives
+
+    def _compute_idle_ratio(self) -> None:
+        span = self.lc.stats.computing_time or self.virtual_time
+        if span <= 0 or not self.solvers:
+            self.lc.stats.idle_ratio = 0.0
+            return
+        total = span * len(self.solvers)
+        busy = sum(min(b, span) for b in self._busy.values())
+        self.lc.stats.idle_ratio = max(0.0, 1.0 - busy / total)
+
+
+class ThreadEngine:
+    """Real-thread engine (Pthreads/C++11 analogue)."""
+
+    def __init__(
+        self,
+        lc: LoadCoordinator,
+        solvers: dict[int, ParaSolver],
+        config: UGConfig,
+    ) -> None:
+        self.lc = lc
+        self.solvers = solvers
+        self.config = config
+        self._queues: dict[int, queue.Queue] = {r: queue.Queue() for r in solvers}
+        self._lc_queue: queue.Queue = queue.Queue()
+        self._t0 = 0.0
+        self._busy: dict[int, float] = {r: 0.0 for r in solvers}
+
+    def _send(self, src: int):
+        def send(dst: int, tag: MessageTag, payload: Any) -> None:
+            msg = Message(tag=tag, src=src, dst=dst, payload=payload)
+            if dst == LOAD_COORDINATOR_RANK:
+                self._lc_queue.put(msg)
+            else:
+                self._queues[dst].put(msg)
+
+        return send
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _solver_loop(self, rank: int) -> None:
+        solver = self.solvers[rank]
+        q = self._queues[rank]
+        send = self._send(rank)
+        while solver.state != "terminated":
+            try:
+                msg = q.get(block=not solver.is_busy, timeout=0.2)
+                solver.handle_message(msg, send)
+                continue
+            except queue.Empty:
+                pass
+            # drain any remaining messages without blocking
+            drained = False
+            while True:
+                try:
+                    msg = q.get_nowait()
+                except queue.Empty:
+                    break
+                solver.handle_message(msg, send)
+                drained = True
+                if solver.state == "terminated":
+                    return
+            if solver.is_busy:
+                t0 = time.perf_counter()
+                solver.do_work(send)
+                self._busy[rank] += time.perf_counter() - t0
+            elif not drained:
+                time.sleep(0.001)
+
+    def run(self) -> None:
+        self._t0 = time.perf_counter()
+        send = self._send(LOAD_COORDINATOR_RANK)
+        threads = [
+            threading.Thread(target=self._solver_loop, args=(rank,), daemon=True, name=f"ParaSolver-{rank}")
+            for rank in self.solvers
+        ]
+        for th in threads:
+            th.start()
+        self.lc.start(send, 0.0)
+        node_limit = self.config.node_limit
+        while not self.lc.finished:
+            now = self._now()
+            if now >= self.config.time_limit or (
+                sum(s.nodes_processed_total for s in self.solvers.values()) >= node_limit
+            ):
+                self.lc.interrupt(send, now)
+                break
+            try:
+                msg = self._lc_queue.get(timeout=0.2)
+            except queue.Empty:
+                self.lc.on_tick(send, self._now())
+                continue
+            self.lc.handle_message(msg, send, self._now())
+            self.lc.on_tick(send, self._now())
+        for th in threads:
+            th.join(timeout=10.0)
+        alive = [th.name for th in threads if th.is_alive()]
+        if alive:  # pragma: no cover - liveness failure
+            raise CommError(f"ParaSolver threads did not terminate: {alive}")
+        self.lc.stats.solver_busy = dict(self._busy)
+        span = self.lc.stats.computing_time or self._now()
+        total = span * max(len(self.solvers), 1)
+        busy = sum(min(b, span) for b in self._busy.values())
+        self.lc.stats.idle_ratio = max(0.0, 1.0 - busy / total) if total > 0 else 0.0

@@ -1,0 +1,153 @@
+"""Instantiation facade: build and run a ug[<base solver>, <library>].
+
+The factory mirrors the paper's naming scheme: a UG-parallelized solver
+is named after its base solver and communication library, e.g.
+``ug[SteinerJack, C++11]`` (ThreadEngine) or ``ug[SteinerJack, SimMPI]``
+(virtual-time SimEngine standing in for MPI runs, cf. DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cip.params import ParamSet
+from repro.exceptions import CommError
+from repro.ug.checkpoint import load_checkpoint
+from repro.ug.config import UGConfig
+from repro.ug.engines import SimEngine, ThreadEngine
+from repro.ug.load_coordinator import LoadCoordinator
+from repro.ug.para_solution import ParaSolution
+from repro.ug.para_solver import ParaSolver
+from repro.ug.statistics import UGStatistics
+from repro.ug.user_plugins import UserPlugins
+
+_LIBRARIES = {
+    "sim": "SimMPI",
+    "threads": "C++11",
+}
+
+
+@dataclass
+class UGResult:
+    """Outcome of a ug[...] run."""
+
+    name: str
+    incumbent: ParaSolution | None
+    dual_bound: float
+    stats: UGStatistics
+    solved: bool
+
+    @property
+    def objective(self) -> float:
+        return float("inf") if self.incumbent is None else self.incumbent.value
+
+
+@dataclass
+class UGSolver:
+    """A configured parallel solver instance."""
+
+    instance: Any
+    user_plugins: UserPlugins
+    n_solvers: int
+    comm: str = "sim"
+    params: ParamSet = field(default_factory=ParamSet)
+    config: UGConfig = field(default_factory=UGConfig)
+    seed: int = 0
+    wall_clock_limit: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.comm not in _LIBRARIES:
+            raise CommError(f"unknown comm {self.comm!r}; choose from {sorted(_LIBRARIES)}")
+        if self.n_solvers < 1:
+            raise CommError("need at least one ParaSolver")
+
+    @property
+    def name(self) -> str:
+        return f"ug[{self.user_plugins.base_solver_name}, {_LIBRARIES[self.comm]}]"
+
+    def run(
+        self,
+        restart_from: str | None = None,
+        initial_incumbent: ParaSolution | None = None,
+    ) -> UGResult:
+        """Execute the run; optionally restart from a checkpoint file.
+
+        Restarting re-applies the LoadCoordinator-level presolve (a fresh
+        LoadCoordinator is built) and seeds the pool with the checkpoint's
+        primitive nodes — exactly the paper's restart mechanism.
+        ``initial_incumbent`` seeds a known solution without a checkpoint
+        (the paper's Table 3 pattern: rerun from scratch with the best
+        solution, usable for presolving, propagation and heuristics).
+        """
+        initial_pool = None
+        if restart_from is not None:
+            cp = load_checkpoint(restart_from)
+            initial_pool = cp.nodes
+            if cp.incumbent is not None and (
+                initial_incumbent is None or cp.incumbent.value < initial_incumbent.value
+            ):
+                initial_incumbent = cp.incumbent
+
+        lc = LoadCoordinator(
+            self.instance,
+            self.user_plugins,
+            self.params,
+            self.config,
+            self.n_solvers,
+            self.seed,
+            initial_pool=initial_pool,
+            initial_incumbent=initial_incumbent,
+        )
+        solvers = {
+            rank: ParaSolver(
+                rank,
+                lc.instance,
+                self.user_plugins,
+                self.params,
+                self.seed,
+                status_interval_work=self.config.status_interval_work,
+                min_open_to_shed=self.config.min_open_to_shed,
+            )
+            for rank in range(1, self.n_solvers + 1)
+        }
+        if self.comm == "sim":
+            engine: SimEngine | ThreadEngine = SimEngine(
+                lc, solvers, self.config, wall_clock_limit=self.wall_clock_limit
+            )
+        else:
+            engine = ThreadEngine(lc, solvers, self.config)
+        engine.run()
+
+        solved = lc.incumbent is not None and (
+            lc.stats.solved_in_racing or (lc.pool_size() == 0 and not lc.active)
+        )
+        dual = lc.stats.dual_final if solved else lc.global_dual_bound()
+        return UGResult(self.name, lc.incumbent, dual, lc.stats, solved)
+
+
+def ug(
+    instance: Any,
+    user_plugins: UserPlugins,
+    n_solvers: int,
+    comm: str = "sim",
+    params: ParamSet | None = None,
+    config: UGConfig | None = None,
+    seed: int = 0,
+    wall_clock_limit: float = float("inf"),
+) -> UGSolver:
+    """Build a ug[<base solver>, <library>] parallel solver.
+
+    This is the entire user-facing parallelization API: pass the instance,
+    the application's :class:`UserPlugins` glue and a solver count.
+    """
+    return UGSolver(
+        instance,
+        user_plugins,
+        n_solvers,
+        comm,
+        params or ParamSet(),
+        config or UGConfig(),
+        seed,
+        wall_clock_limit,
+    )

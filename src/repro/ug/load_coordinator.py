@@ -1,0 +1,358 @@
+"""The LoadCoordinator — Algorithm 1 of the paper, plus racing ramp-up,
+dynamic load balancing, checkpointing and restart.
+
+The LoadCoordinator never touches a B&B tree: it keeps a small pool of
+extracted :class:`ParaNode` subproblems, assigns them to idle solvers,
+maintains the global incumbent, toggles collect mode when the pool runs
+low on heavy subproblems, and periodically saves the primitive nodes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable
+
+from repro.cip.params import ParamSet
+from repro.ug.checkpoint import save_checkpoint
+from repro.ug.config import UGConfig
+from repro.ug.messages import Message, MessageTag
+from repro.ug.para_node import ParaNode
+from repro.ug.para_solution import ParaSolution
+from repro.ug.statistics import UGStatistics
+from repro.ug.user_plugins import UserPlugins
+
+SendFn = Callable[[int, MessageTag, Any], None]
+
+
+class LoadCoordinator:
+    """Supervisor of the Supervisor–Worker scheme."""
+
+    def __init__(
+        self,
+        instance: Any,
+        user_plugins: UserPlugins,
+        params: ParamSet,
+        config: UGConfig,
+        n_solvers: int,
+        seed: int = 0,
+        initial_pool: list[ParaNode] | None = None,
+        initial_incumbent: ParaSolution | None = None,
+    ) -> None:
+        self.user_plugins = user_plugins
+        self.params = params
+        self.config = config
+        self.n_solvers = n_solvers
+        self.seed = seed
+        # layered presolving, first layer: presolve the instance once here
+        self.instance = user_plugins.presolve_instance(instance, params, seed)
+
+        self._pool: list[tuple[float, int, ParaNode]] = []
+        self._pool_seq = itertools.count()
+        self._lc_ids = itertools.count()
+        self.idle: set[int] = set(range(1, n_solvers + 1))
+        self.active: dict[int, ParaNode] = {}
+        self.collecting: set[int] = set()
+        self.incumbent: ParaSolution | None = initial_incumbent
+        self.finished = False
+        self.stats = UGStatistics(n_solvers=n_solvers)
+        self._last_status: dict[int, dict[str, Any]] = {}
+        self._nodes_processed: dict[int, int] = {}
+        self._solver_dual: dict[int, float] = {}
+        self._racing = False
+        self._racing_settings: list[ParamSet] = []
+        self._settings_of_rank: dict[int, int] = {}
+        self._root_reported = False
+        self._last_checkpoint = 0.0
+        self._terminated_racers: set[int] = set()
+        self._restart_pool = list(initial_pool or [])
+        if self.incumbent is not None:
+            self.stats.primal_initial = self.incumbent.value
+        if self._restart_pool:
+            self.stats.dual_initial = min(n.dual_bound for n in self._restart_pool)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self, send: SendFn, now: float) -> None:
+        """Initial distribution: restart pool, racing, or single-root."""
+        if self._restart_pool:
+            for node in self._restart_pool:
+                self._push_pool(node, renumber=True)
+            self._restart_pool = []
+            self._assign(send, now)
+            return
+        root = self.user_plugins.root_para_node(self.instance)
+        if self.config.ramp_up == "racing" and self.n_solvers >= 2:
+            self._racing = True
+            self._racing_settings = self.user_plugins.racing_param_sets(self.n_solvers, self.params)
+            for rank in sorted(self.idle):
+                settings = self._racing_settings[(rank - 1) % len(self._racing_settings)]
+                self._settings_of_rank[rank] = ((rank - 1) % len(self._racing_settings)) + 1
+                node = ParaNode(payload=dict(root.payload), dual_bound=root.dual_bound)
+                node.lc_id = next(self._lc_ids)
+                self.active[rank] = node
+                send(
+                    rank,
+                    MessageTag.RACING_START,
+                    {"node": node, "settings": settings, "incumbent": self._incumbent_value()},
+                )
+            self.idle.clear()
+            self._record_active(now)
+            self.stats.transferred_nodes += self.n_solvers
+        else:
+            root.lc_id = next(self._lc_ids)
+            self._push_pool(root)
+            self._assign(send, now)
+
+    # -- pool helpers ----------------------------------------------------------
+
+    def _push_pool(self, node: ParaNode, renumber: bool = False) -> None:
+        if renumber or node.lc_id < 0:
+            node.lc_id = next(self._lc_ids)
+        heapq.heappush(self._pool, (node.dual_bound, next(self._pool_seq), node))
+
+    def _incumbent_value(self) -> float | None:
+        return None if self.incumbent is None else self.incumbent.value
+
+    def pool_size(self) -> int:
+        return len(self._pool)
+
+    def _assign(self, send: SendFn, now: float) -> None:
+        """Algorithm 1's inner while: feed idle solvers from the pool."""
+        while self.idle and self._pool:
+            _, _, node = heapq.heappop(self._pool)
+            if (
+                self.incumbent is not None
+                and node.dual_bound >= self.incumbent.value - self.config.objective_epsilon
+            ):
+                continue  # pruned by bound
+            rank = min(self.idle)
+            self.idle.discard(rank)
+            self.active[rank] = node
+            send(
+                rank,
+                MessageTag.SUBPROBLEM,
+                {"node": node, "incumbent": self._incumbent_value(), "settings": self._solver_params(rank)},
+            )
+            self.stats.transferred_nodes += 1
+        self._record_active(now)
+        self._update_collecting(send)
+        self._check_termination(send, now)
+
+    def _solver_params(self, rank: int) -> ParamSet:
+        # after racing, every solver continues with the winner's settings if
+        # known; otherwise the base parameters with a per-rank permutation
+        if self.stats.racing_winner is not None and self._racing_settings:
+            return self._racing_settings[(self.stats.racing_winner - 1) % len(self._racing_settings)]
+        return self.params.with_changes(permutation_seed=self.params.permutation_seed + rank)
+
+    def _record_active(self, now: float) -> None:
+        count = len(self.active)
+        if count > self.stats.max_active_solvers:
+            self.stats.max_active_solvers = count
+            self.stats.first_max_active_time = now
+
+    # -- collect mode (heavy-subproblem management) ------------------------------
+
+    def _update_collecting(self, send: SendFn) -> None:
+        if self._racing or self.finished:
+            return
+        # collecting only makes sense while idle solvers are starving
+        if not self.idle:
+            if self.collecting:
+                for rank in self.collecting:
+                    send(rank, MessageTag.STOP_COLLECTING, None)
+                self.collecting.clear()
+            return
+        want = len(self.idle) + self.config.pool_buffer
+        high = int(want * self.config.pool_high_watermark_factor)
+        if self.collecting and len(self._pool) >= max(high, 1):
+            for rank in self.collecting:
+                send(rank, MessageTag.STOP_COLLECTING, None)
+            self.collecting.clear()
+        elif not self.collecting and len(self._pool) < want and self.active:
+            # pick the solvers believed to have the largest trees
+            def open_count(rank: int) -> int:
+                return int(self._last_status.get(rank, {}).get("n_open", 0))
+
+            candidates = sorted(self.active, key=lambda r: -open_count(r))
+            for rank in candidates[: self.config.max_collectors]:
+                send(rank, MessageTag.START_COLLECTING, None)
+                self.collecting.add(rank)
+
+    # -- message handling ---------------------------------------------------------
+
+    def handle_message(self, msg: Message, send: SendFn, now: float) -> None:
+        tag = msg.tag
+        payload = msg.payload or {}
+        if tag is MessageTag.SOLUTION_FOUND:
+            self._on_solution(payload["solution"], send)
+        elif tag is MessageTag.NODE_TRANSFER:
+            node: ParaNode = payload["node"]
+            if (
+                self.incumbent is None
+                or node.dual_bound < self.incumbent.value - self.config.objective_epsilon
+            ):
+                self._push_pool(node)
+            self._assign(send, now)
+        elif tag is MessageTag.STATUS:
+            rank = payload["rank"]
+            self._last_status[rank] = payload
+            self._nodes_processed[rank] = payload.get("nodes_processed", 0)
+            self._solver_dual[rank] = payload.get("dual_bound", -math.inf)
+            if not self._root_reported and "first_step_work" in payload:
+                self.stats.root_time = payload["first_step_work"]
+                self._root_reported = True
+            if self._racing:
+                self._maybe_finish_racing(send, now)
+            else:
+                self._update_collecting(send)
+        elif tag is MessageTag.TERMINATED:
+            rank = payload["rank"]
+            if payload.get("racing_loser"):
+                self._terminated_racers.add(rank)
+                self.idle.add(rank)
+                self.active.pop(rank, None)
+                self._assign(send, now)
+                return
+            self.active.pop(rank, None)
+            self.idle.add(rank)
+            self.collecting.discard(rank)
+            self._last_status.pop(rank, None)
+            self._solver_dual.pop(rank, None)
+            if "nodes_processed" in payload:
+                self._nodes_processed[rank] = payload["nodes_processed"]
+            if self._racing:
+                # a racer finished the whole instance during the race
+                self.stats.solved_in_racing = True
+                self._racing = False
+                self.stats.racing_winner = None
+                self._broadcast_termination(send, now)
+                return
+            self._assign(send, now)
+        else:  # pragma: no cover - protocol violation
+            raise AssertionError(f"LoadCoordinator: unexpected tag {tag}")
+
+    def _on_solution(self, sol: ParaSolution, send: SendFn) -> None:
+        if not sol.improves(self.incumbent):
+            return
+        if math.isinf(self.stats.primal_initial):
+            self.stats.primal_initial = sol.value
+        self.incumbent = sol
+        self.stats.primal_final = sol.value
+        # share the bound with every busy solver
+        for rank in self.active:
+            send(rank, MessageTag.INCUMBENT, {"value": sol.value})
+        # prune the pool
+        eps = self.config.objective_epsilon
+        kept = [(b, s, n) for b, s, n in self._pool if n.dual_bound < sol.value - eps]
+        if len(kept) != len(self._pool):
+            self._pool = kept
+            heapq.heapify(self._pool)
+
+    # -- racing -----------------------------------------------------------------
+
+    def _maybe_finish_racing(self, send: SendFn, now: float) -> None:
+        deadline_hit = now >= self.config.racing_deadline
+        threshold_hit = any(
+            st.get("n_open", 0) >= self.config.racing_open_node_threshold
+            for st in self._last_status.values()
+        )
+        if not (deadline_hit or threshold_hit):
+            return
+        contenders = [r for r in self.active if r not in self._terminated_racers]
+        if not contenders:
+            return
+        # winner: best (highest) dual bound, more open nodes breaks ties
+        def key(rank: int) -> tuple[float, int]:
+            st = self._last_status.get(rank, {})
+            return (st.get("dual_bound", -math.inf), st.get("n_open", 0))
+
+        winner = max(contenders, key=key)
+        self._racing = False
+        self.stats.racing_winner = self._settings_of_rank.get(winner)
+        self.stats.racing_time = now
+        winner_node = self.active[winner]
+        send(winner, MessageTag.RACING_WINNER, None)
+        self.collecting.add(winner)
+        for rank in contenders:
+            if rank != winner:
+                send(rank, MessageTag.RACING_LOSER, None)
+                self.active.pop(rank, None)
+        self.active = {winner: winner_node}
+        self._record_active(now)
+
+    # -- ticks: deadline, checkpoints, limits ------------------------------------
+
+    def on_tick(self, send: SendFn, now: float) -> None:
+        """Called by the engine after every event."""
+        if self.finished:
+            return
+        if self._racing and now >= self.config.racing_deadline:
+            self._maybe_finish_racing(send, now)
+        if (
+            self.config.checkpoint_path is not None
+            and now - self._last_checkpoint >= self.config.checkpoint_interval
+        ):
+            self.write_checkpoint(self.config.checkpoint_path)
+            self._last_checkpoint = now
+
+    def interrupt(self, send: SendFn, now: float) -> None:
+        """Stop the run (time/node limit): terminate everyone, keep state."""
+        if not self.finished:
+            if self.config.checkpoint_path is not None:
+                self.write_checkpoint(self.config.checkpoint_path)
+            self._broadcast_termination(send, now)
+
+    def _broadcast_termination(self, send: SendFn, now: float) -> None:
+        self.finished = True
+        for rank in range(1, self.n_solvers + 1):
+            send(rank, MessageTag.TERMINATION, None)
+        self._finalize_stats(now)
+
+    def _check_termination(self, send: SendFn, now: float) -> None:
+        if not self._racing and not self.finished and not self._pool and not self.active:
+            self._broadcast_termination(send, now)
+
+    def _finalize_stats(self, now: float) -> None:
+        s = self.stats
+        s.computing_time = now
+        if self.incumbent is not None:
+            s.primal_final = self.incumbent.value
+        s.dual_final = self.global_dual_bound()
+        proven = (not self.active and not self._pool) or s.solved_in_racing
+        if proven and self.incumbent is not None and not math.isinf(s.primal_final):
+            s.dual_final = s.primal_final  # proven optimal
+        s.open_nodes_final = len(self._pool) + sum(
+            int(self._last_status.get(r, {}).get("n_open", 0)) for r in self.active
+        )
+        s.nodes_generated = sum(self._nodes_processed.values())
+
+    def global_dual_bound(self) -> float:
+        bounds = [n.dual_bound for _, _, n in self._pool]
+        for rank, node in self.active.items():
+            bounds.append(self._solver_dual.get(rank, node.dual_bound))
+        if not bounds:
+            return self.incumbent.value if self.incumbent is not None else -math.inf
+        return min(bounds)
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def primitive_nodes(self) -> list[ParaNode]:
+        """The minimal covering set saved at checkpoints.
+
+        Active assignment seeds cover their solvers' whole subtrees; a
+        pooled node is *primitive* iff none of its lineage ancestors is an
+        active seed (otherwise regenerating the seed re-creates it).
+        """
+        saved: list[ParaNode] = [node for node in self.active.values()]
+        active_ids = {node.lc_id for node in self.active.values()}
+        for _, _, node in self._pool:
+            if not any(anc in active_ids for anc in node.lineage):
+                saved.append(node)
+        return saved
+
+    def write_checkpoint(self, path: str) -> None:
+        save_checkpoint(path, self.primitive_nodes(), self.incumbent, self.stats)
+        self.stats.checkpoints_written += 1

@@ -1,0 +1,44 @@
+"""Message vocabulary of the Supervisor-Worker protocol (Algorithms 1-2)."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_seq = itertools.count()
+
+
+class MessageTag(enum.Enum):
+    # Supervisor -> Worker
+    SUBPROBLEM = "subproblem"
+    INCUMBENT = "incumbent"
+    START_COLLECTING = "startCollecting"
+    STOP_COLLECTING = "stopCollecting"
+    TERMINATION = "termination"
+    RACING_START = "racingStart"
+    RACING_WINNER = "racingWinner"
+    RACING_LOSER = "racingLoser"
+    # Worker -> Supervisor
+    SOLUTION_FOUND = "solutionFound"
+    STATUS = "status"
+    TERMINATED = "terminated"
+    NODE_TRANSFER = "nodeTransfer"
+
+
+@dataclass(order=True)
+class Message:
+    """One protocol message; ordering key is (send seq) for determinism."""
+
+    seq: int = field(init=False)
+    tag: MessageTag = field(compare=False)
+    src: int = field(compare=False)
+    dst: int = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.seq = next(_seq)
+
+
+LOAD_COORDINATOR_RANK = 0

@@ -1,0 +1,44 @@
+"""Solver-independent subproblem descriptions.
+
+A :class:`ParaNode` is what travels between ParaSolvers: an
+application-defined JSON-safe ``payload`` (e.g. Steiner vertex decisions
+plus arc fixings, or MISDP bound changes) plus bookkeeping the
+LoadCoordinator needs — the dual bound for ordering/pruning and the
+``lineage`` of LoadCoordinator node ids used to identify *primitive*
+nodes at checkpoint time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ParaNode:
+    """A subproblem in solver-independent form."""
+
+    payload: dict[str, Any]
+    dual_bound: float = float("-inf")
+    depth: int = 0
+    lc_id: int = -1  # assigned by the LoadCoordinator on receipt
+    lineage: tuple[int, ...] = field(default_factory=tuple)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "payload": self.payload,
+            "dual_bound": self.dual_bound,
+            "depth": self.depth,
+            "lc_id": self.lc_id,
+            "lineage": list(self.lineage),
+        }
+
+    @staticmethod
+    def from_json(obj: dict[str, Any]) -> "ParaNode":
+        return ParaNode(
+            payload=dict(obj["payload"]),
+            dual_bound=float(obj["dual_bound"]),
+            depth=int(obj["depth"]),
+            lc_id=int(obj["lc_id"]),
+            lineage=tuple(int(x) for x in obj.get("lineage", ())),
+        )

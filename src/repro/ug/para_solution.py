@@ -1,0 +1,24 @@
+"""Solver-independent solutions shared through the LoadCoordinator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class ParaSolution:
+    """A primal solution: objective value + JSON-safe application payload."""
+
+    value: float
+    payload: Any = None
+
+    def improves(self, other: "ParaSolution | None", eps: float = 1e-9) -> bool:
+        return other is None or self.value < other.value - eps
+
+    def to_json(self) -> dict[str, Any]:
+        return {"value": self.value, "payload": self.payload}
+
+    @staticmethod
+    def from_json(obj: dict[str, Any]) -> "ParaSolution":
+        return ParaSolution(float(obj["value"]), obj.get("payload"))

@@ -1,0 +1,178 @@
+"""The ParaSolver state machine — Algorithm 2 of the paper.
+
+A ParaSolver wraps a base solver (via the application's
+:class:`~repro.ug.user_plugins.UserPlugins`) and interleaves solving with
+communication: it reports solutions immediately, sends periodic status,
+toggles collect mode on request and ships its best candidate subproblem
+to the Supervisor while collecting.
+
+The class is a pure event-driven state machine: ``handle_message`` and
+``do_work`` never block, so the same code runs under real threads
+(ThreadEngine) and under the virtual-time SimEngine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.cip.params import ParamSet
+from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag
+from repro.ug.para_node import ParaNode
+from repro.ug.para_solution import ParaSolution
+from repro.ug.user_plugins import SolverHandle, UserPlugins
+
+SendFn = Callable[[int, MessageTag, Any], None]
+
+# fallback work charge for steps that report none (keeps virtual time moving)
+_MIN_STEP_WORK = 1e-5
+
+
+class ParaSolver:
+    """One worker of the Supervisor–Worker scheme."""
+
+    def __init__(
+        self,
+        rank: int,
+        instance: Any,
+        user_plugins: UserPlugins,
+        params: ParamSet,
+        seed: int,
+        status_interval_work: float = 0.05,
+        min_open_to_shed: int = 4,
+    ) -> None:
+        if rank == LOAD_COORDINATOR_RANK:
+            raise ValueError("rank 0 is reserved for the LoadCoordinator")
+        self.rank = rank
+        self.instance = instance
+        self.user_plugins = user_plugins
+        self.base_params = params
+        self.seed = seed
+        self.status_interval_work = status_interval_work
+        self.min_open_to_shed = min_open_to_shed
+
+        self.state = "idle"  # idle | working | racing | terminated
+        self.handle: SolverHandle | None = None
+        self.collect_mode = False
+        self.current_node: ParaNode | None = None
+        self.best_known = math.inf
+        self._work_since_status = 0.0
+        self._first_step = False
+        self.nodes_processed_total = 0
+        self.busy_work = 0.0
+
+    # -- message handling -------------------------------------------------------
+
+    def handle_message(self, msg: Message, send: SendFn) -> None:
+        tag = msg.tag
+        if tag is MessageTag.TERMINATION:
+            self.state = "terminated"
+            self.handle = None
+            return
+        if tag is MessageTag.INCUMBENT:
+            value = float(msg.payload["value"])
+            if value < self.best_known:
+                self.best_known = value
+                if self.handle is not None:
+                    self.handle.inject_incumbent_value(value)
+            return
+        if tag is MessageTag.START_COLLECTING:
+            self.collect_mode = True
+            return
+        if tag is MessageTag.STOP_COLLECTING:
+            self.collect_mode = False
+            return
+        if tag in (MessageTag.SUBPROBLEM, MessageTag.RACING_START):
+            node: ParaNode = msg.payload["node"]
+            params: ParamSet = msg.payload.get("settings") or self.base_params
+            incumbent_value = msg.payload.get("incumbent")
+            incumbent = None
+            if incumbent_value is not None and math.isfinite(incumbent_value):
+                self.best_known = min(self.best_known, float(incumbent_value))
+                incumbent = ParaSolution(self.best_known)
+            self.current_node = node
+            # second layer of layered presolving happens inside create_handle
+            self.handle = self.user_plugins.create_handle(
+                self.instance, node, params, self.seed + self.rank, incumbent
+            )
+            self.state = "racing" if tag is MessageTag.RACING_START else "working"
+            self.collect_mode = False
+            self._work_since_status = 0.0
+            self._first_step = True
+            return
+        if tag is MessageTag.RACING_WINNER:
+            # continue the race tree as the main worker and start shedding
+            # open nodes so the Supervisor can feed the idle losers
+            if self.state == "racing":
+                self.state = "working"
+            self.collect_mode = True
+            return
+        if tag is MessageTag.RACING_LOSER:
+            # discard the race tree; solutions were already reported
+            self.handle = None
+            self.current_node = None
+            self.state = "idle"
+            self.collect_mode = False
+            send(LOAD_COORDINATOR_RANK, MessageTag.TERMINATED, {"racing_loser": True, "rank": self.rank})
+            return
+        raise AssertionError(f"ParaSolver {self.rank}: unexpected tag {tag}")
+
+    # -- work --------------------------------------------------------------------
+
+    def do_work(self, send: SendFn) -> float | None:
+        """Advance the base solver by one node; returns work spent or None."""
+        if self.state not in ("working", "racing") or self.handle is None:
+            return None
+        step = self.handle.step()
+        work = max(step.work, _MIN_STEP_WORK)
+        self.busy_work += work
+        self.nodes_processed_total += step.nodes_processed
+
+        for sol in step.solutions:
+            if sol.value < self.best_known - 1e-9:
+                self.best_known = sol.value
+                send(LOAD_COORDINATOR_RANK, MessageTag.SOLUTION_FOUND, {"solution": sol, "rank": self.rank})
+
+        if step.finished:
+            send(
+                LOAD_COORDINATOR_RANK,
+                MessageTag.TERMINATED,
+                {
+                    "rank": self.rank,
+                    "dual_bound": step.dual_bound,
+                    "nodes_processed": self.nodes_processed_total,
+                },
+            )
+            self.state = "idle"
+            self.handle = None
+            self.current_node = None
+            self.collect_mode = False
+            return work
+
+        self._work_since_status += work
+        if self._work_since_status >= self.status_interval_work or self._first_step:
+            self._work_since_status = 0.0
+            status: dict[str, Any] = {
+                "rank": self.rank,
+                "dual_bound": step.dual_bound,
+                "n_open": step.n_open,
+                "nodes_processed": self.nodes_processed_total,
+                "state": self.state,
+            }
+            if self._first_step:
+                status["first_step_work"] = work
+                self._first_step = False
+            send(LOAD_COORDINATOR_RANK, MessageTag.STATUS, status)
+        if self.collect_mode and self.state == "working" and step.n_open >= self.min_open_to_shed:
+            para = self.handle.extract_para_node()
+            if para is not None:
+                assert self.current_node is not None
+                para.lineage = self.current_node.lineage + (
+                    (self.current_node.lc_id,) if self.current_node.lc_id >= 0 else ()
+                )
+                send(LOAD_COORDINATOR_RANK, MessageTag.NODE_TRANSFER, {"node": para, "rank": self.rank})
+        return work
+
+    @property
+    def is_busy(self) -> bool:
+        return self.state in ("working", "racing")

@@ -1,0 +1,48 @@
+"""Run statistics — the quantities reported in the paper's tables."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class UGStatistics:
+    """Everything Tables 1-3 report for a ug[...] run.
+
+    Times are virtual seconds under the SimEngine and wall-clock seconds
+    under the ThreadEngine.
+    """
+
+    n_solvers: int = 0
+    computing_time: float = 0.0
+    racing_time: float | None = None
+    root_time: float = 0.0  # time spent at the root of the B&B tree
+    idle_ratio: float = 0.0  # fraction of solver-time spent without a subproblem
+    transferred_nodes: int = 0  # subproblems sent to ParaSolvers
+    nodes_generated: int = 0  # B&B nodes processed across all solvers
+    open_nodes_final: int = 0
+    primal_initial: float = math.inf
+    primal_final: float = math.inf
+    dual_initial: float = -math.inf
+    dual_final: float = -math.inf
+    max_active_solvers: int = 0
+    first_max_active_time: float = 0.0
+    racing_winner: int | None = None  # settings index of the racing winner
+    solved_in_racing: bool = False
+    checkpoints_written: int = 0
+    solver_busy: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def gap_initial(self) -> float:
+        return _gap(self.primal_initial, self.dual_initial)
+
+    @property
+    def gap_final(self) -> float:
+        return _gap(self.primal_final, self.dual_final)
+
+
+def _gap(primal: float, dual: float) -> float:
+    if math.isinf(primal) or math.isinf(dual):
+        return math.inf
+    return abs(primal - dual) / max(abs(primal), abs(dual), 1.0)

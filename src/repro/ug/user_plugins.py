@@ -1,0 +1,95 @@
+"""The UserPlugins interface — the ScipUserPlugins analogue.
+
+This is the *only* thing an application author writes to parallelize a
+customized CIP solver: how to presolve the instance once at the
+LoadCoordinator, how to build a base-solver handle for a received
+subproblem (performing the second presolving layer), how to serialize an
+extracted tree node, and (optionally) the racing parameter sets. The
+shipped glue files in :mod:`repro.apps` each do this in well under 200
+lines, reproducing the paper's headline claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cip.params import ParamSet
+from repro.ug.para_node import ParaNode
+from repro.ug.para_solution import ParaSolution
+
+
+@dataclass
+class HandleStep:
+    """Result of one base-solver step inside a ParaSolver.
+
+    ``work`` is the deterministic work-unit cost of the step (virtual
+    seconds under the SimEngine; informational under threads).
+    """
+
+    finished: bool
+    work: float
+    dual_bound: float
+    n_open: int
+    solutions: list[ParaSolution] = field(default_factory=list)
+    nodes_processed: int = 0
+
+
+class SolverHandle:
+    """A running base-solver instance working on one subproblem.
+
+    Concrete handles wrap a :class:`~repro.cip.solver.CIPSolver` (plus
+    application state such as the re-presolved Steiner graph).
+    """
+
+    def step(self) -> HandleStep:
+        """Process one B&B node; must be reentrant between messages."""
+        raise NotImplementedError
+
+    def extract_para_node(self) -> ParaNode | None:
+        """Remove one heavy open node in solver-independent form, or None."""
+        raise NotImplementedError
+
+    def inject_incumbent_value(self, value: float) -> None:
+        """Install an externally found primal bound."""
+        raise NotImplementedError
+
+    def dual_bound(self) -> float:
+        raise NotImplementedError
+
+    def n_open(self) -> int:
+        raise NotImplementedError
+
+
+class UserPlugins:
+    """Application glue: build handles, serialize nodes, racing settings."""
+
+    #: human-readable base-solver name, used for ug[<name>, <lib>] naming
+    base_solver_name: str = "CIP"
+
+    def presolve_instance(self, instance: Any, params: ParamSet, seed: int) -> Any:
+        """LoadCoordinator-level presolve (first layer); default: identity."""
+        return instance
+
+    def root_para_node(self, instance: Any) -> ParaNode:
+        """The root subproblem (empty payload by default)."""
+        return ParaNode(payload={})
+
+    def create_handle(
+        self,
+        instance: Any,
+        node: ParaNode,
+        params: ParamSet,
+        seed: int,
+        incumbent: ParaSolution | None,
+    ) -> SolverHandle:
+        """Build a base solver for ``node`` (second presolving layer here)."""
+        raise NotImplementedError
+
+    def racing_param_sets(self, n: int, base: ParamSet) -> list[ParamSet]:
+        """Parameter sets for racing ramp-up (customized racing hook).
+
+        The default diversifies only the permutation seed, the minimal
+        diversification the paper describes for FiberSCIP.
+        """
+        return [base.with_changes(permutation_seed=k) for k in range(n)]

@@ -1,0 +1,16 @@
+"""Shared utilities: tolerances, statistics, RNG management, timing."""
+
+from repro.utils.tolerances import Tolerances, DEFAULT_TOL
+from repro.utils.stats import shifted_geometric_mean, arithmetic_mean
+from repro.utils.rng import make_rng, spawn_seeds
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "Tolerances",
+    "DEFAULT_TOL",
+    "shifted_geometric_mean",
+    "arithmetic_mean",
+    "make_rng",
+    "spawn_seeds",
+    "Stopwatch",
+]

@@ -1,0 +1,30 @@
+"""Deterministic random-number management.
+
+Every stochastic component of the library (instance generators, racing
+permutations, randomized rounding) receives an explicit seed; this module
+centralises the ``numpy`` Generator construction and seed spawning so runs
+are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a Generator for ``seed``; pass through existing Generators."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: int, count: int) -> list[int]:
+    """Derive ``count`` independent child seeds from a master seed.
+
+    Uses ``SeedSequence.spawn`` so children are statistically independent
+    and stable across numpy versions.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [int(c.generate_state(1)[0]) for c in children]

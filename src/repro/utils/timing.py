@@ -1,0 +1,48 @@
+"""Wall-clock timing helper used by solvers and benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """A resumable stopwatch.
+
+    ``Stopwatch()`` starts stopped; :meth:`start`/:meth:`stop` accumulate
+    elapsed wall-clock time into :attr:`elapsed`.
+    """
+
+    def __init__(self) -> None:
+        self._accumulated = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+
+    def stop(self) -> None:
+        if self._started_at is not None:
+            self._accumulated += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    def reset(self) -> None:
+        self._accumulated = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        extra = 0.0
+        if self._started_at is not None:
+            extra = time.perf_counter() - self._started_at
+        return self._accumulated + extra
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

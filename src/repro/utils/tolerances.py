@@ -1,0 +1,50 @@
+"""Central numerical tolerances.
+
+All solver components share a single :class:`Tolerances` instance so a
+user tightening feasibility once tightens it everywhere — mirroring
+SCIP's ``numerics/*`` parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Numerical tolerances used across LP, CIP, Steiner and SDP code.
+
+    Attributes
+    ----------
+    eps:
+        Absolute zero tolerance for coefficient comparisons.
+    feas:
+        Constraint feasibility tolerance.
+    integrality:
+        Maximum distance from an integer for a value to count as integral.
+    optimality:
+        Relative gap below which a node/problem counts as solved.
+    dual_feas:
+        Dual feasibility tolerance (reduced costs, SDP residuals).
+    """
+
+    eps: float = 1e-9
+    feas: float = 1e-6
+    integrality: float = 1e-6
+    optimality: float = 1e-6
+    dual_feas: float = 1e-6
+
+    def is_integral(self, value: float) -> bool:
+        """Return True if ``value`` is within ``integrality`` of an integer."""
+        return abs(value - round(value)) <= self.integrality
+
+    def is_zero(self, value: float) -> bool:
+        """Return True if ``value`` is within ``eps`` of zero."""
+        return abs(value) <= self.eps
+
+    def rel_gap(self, primal: float, dual: float) -> float:
+        """Relative primal/dual gap, using SCIP's |primal - dual| / max(|primal|, |dual|, 1)."""
+        return abs(primal - dual) / max(abs(primal), abs(dual), 1.0)
+
+
+DEFAULT_TOL = Tolerances()

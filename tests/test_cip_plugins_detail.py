@@ -1,0 +1,146 @@
+"""Detailed unit tests for generic CIP plugins and SDP propagation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cip.heuristics import DivingHeuristic, RoundingHeuristic
+from repro.cip.mip import make_mip_solver
+from repro.cip.model import Model, VarType
+from repro.cip.params import ParamSet
+from repro.cip.plugins import PropagationStatus
+from repro.cip.propagation import IntegralityPropagator, LinearActivityPropagator
+from repro.cip.solver import CIPSolver
+from repro.sdp.branching import SpatialBranching
+from repro.sdp.model import MISDP
+from repro.sdp.propagators import DualFixingPropagator
+
+
+def solver_with_node(model: Model, params: ParamSet | None = None) -> CIPSolver:
+    s = CIPSolver(model, params or ParamSet())
+    s.setup()
+    node = s._tree.pop()  # noqa: SLF001 - white-box test
+    s._current_node = node
+    assert s._install_local_bounds(node)  # noqa: SLF001
+    return s
+
+
+class TestIntegralityPropagator:
+    def test_snaps_bounds(self):
+        m = Model()
+        m.add_variable(vtype=VarType.INTEGER, lb=0.3, ub=2.7)
+        s = solver_with_node(m, ParamSet(presolve=False))
+        res = IntegralityPropagator().propagate(s, s.current_node)
+        assert res.status is PropagationStatus.REDUCED
+        assert s.local_bounds(0) == (1.0, 2.0)
+
+    def test_detects_empty_domain(self):
+        m = Model()
+        m.add_variable(vtype=VarType.INTEGER, lb=0.3, ub=0.7)
+        s = solver_with_node(m, ParamSet(presolve=False))
+        res = IntegralityPropagator().propagate(s, s.current_node)
+        assert res.status is PropagationStatus.INFEASIBLE
+
+
+class TestLinearActivityPropagator:
+    def test_tightens_from_row(self):
+        m = Model()
+        m.add_variable(lb=0.0, ub=10.0)
+        m.add_variable(lb=0.0, ub=10.0)
+        m.add_constraint({0: 1.0, 1: 1.0}, rhs=3.0)
+        s = solver_with_node(m, ParamSet(presolve=False))
+        res = LinearActivityPropagator().propagate(s, s.current_node)
+        assert res.status is PropagationStatus.REDUCED
+        assert s.local_bounds(0)[1] == pytest.approx(3.0)
+
+    def test_detects_infeasible_row(self):
+        m = Model()
+        m.add_variable(lb=0.0, ub=1.0)
+        m.add_constraint({0: 1.0}, lhs=5.0)
+        s = solver_with_node(m, ParamSet(presolve=False))
+        res = LinearActivityPropagator().propagate(s, s.current_node)
+        assert res.status is PropagationStatus.INFEASIBLE
+
+
+class TestGenericHeuristics:
+    def knapsack_solver(self) -> CIPSolver:
+        m = Model()
+        for obj in (-3.0, -2.0):
+            m.add_variable(vtype=VarType.BINARY, obj=obj)
+        m.add_constraint({0: 1.0, 1: 1.0}, rhs=1.0)
+        return solver_with_node(m, ParamSet(presolve=False))
+
+    def test_rounding_finds_solution(self):
+        s = self.knapsack_solver()
+        RoundingHeuristic().run(s, s.current_node, np.array([0.6, 0.4]))
+        assert s.incumbent is not None
+        assert s.incumbent.value == pytest.approx(-3.0)
+
+    def test_rounding_never_accepts_infeasible(self):
+        s = self.knapsack_solver()
+        RoundingHeuristic().run(s, s.current_node, np.array([0.9, 0.9]))
+        # rounding both up violates the row; the check must reject it
+        if s.incumbent is not None:
+            assert s.model.check_linear(s.incumbent.x)
+
+    def test_diving_finds_solution(self):
+        s = self.knapsack_solver()
+        DivingHeuristic().run(s, s.current_node, np.array([0.5, 0.5]))
+        assert s.incumbent is not None
+
+
+class TestDualFixing:
+    def test_fixes_monotone_variable(self):
+        # max y with Z = diag(1 - y): raising y TIGHTENS, so direction -1;
+        # b = +1 wants y up: no fix. With b = -1 it fixes y to lb.
+        m = MISDP(b=np.array([-1.0]), lb=np.array([0.0]), ub=np.array([1.0]))
+        m.add_block(np.array([[1.0]]), {0: np.array([[1.0]])})
+        from repro.cip.model import Model
+
+        model = Model()
+        model.add_variable(lb=0.0, ub=1.0)
+        s = solver_with_node(model, ParamSet(presolve=False))
+        res = DualFixingPropagator(m).propagate(s, s.current_node)
+        assert res.status is PropagationStatus.REDUCED
+        assert s.local_bounds(0)[1] == pytest.approx(0.0)
+
+    def test_skips_with_linear_rows(self):
+        m = MISDP(b=np.array([-1.0]), lb=np.array([0.0]), ub=np.array([1.0]))
+        m.add_block(np.array([[1.0]]), {0: np.array([[1.0]])})
+        m.add_linear_row({0: 1.0}, lhs=0.5)
+        from repro.cip.model import Model
+
+        model = Model()
+        model.add_variable(lb=0.0, ub=1.0)
+        s = solver_with_node(model, ParamSet(presolve=False))
+        res = DualFixingPropagator(m).propagate(s, s.current_node)
+        assert res.status is PropagationStatus.UNCHANGED
+
+
+class TestSpatialBranching:
+    def test_splits_violating_continuous_var(self):
+        # block [[1, y],[y, 1]] with y continuous fixed... violated at y=2
+        m = MISDP(b=np.array([1.0]), lb=np.array([-5.0]), ub=np.array([5.0]))
+        m.add_block(np.eye(2), {0: np.array([[0.0, -1.0], [-1.0, 0.0]])})
+        from repro.cip.model import Model
+
+        model = Model()
+        model.add_variable(lb=-5.0, ub=5.0)
+        s = solver_with_node(model, ParamSet(presolve=False))
+        children = SpatialBranching(m).branch(s, s.current_node, np.array([2.0]))
+        assert len(children) == 2
+        (lo1, hi1) = children[0].bound_changes[0]
+        (lo2, hi2) = children[1].bound_changes[0]
+        assert hi1 == pytest.approx(lo2)
+        assert hi1 < 5.0 and lo2 > -5.0
+
+    def test_no_branching_on_feasible_point(self):
+        m = MISDP(b=np.array([1.0]), lb=np.array([-5.0]), ub=np.array([5.0]))
+        m.add_block(np.eye(2), {0: np.array([[0.0, -1.0], [-1.0, 0.0]])})
+        from repro.cip.model import Model
+
+        model = Model()
+        model.add_variable(lb=-5.0, ub=5.0)
+        s = solver_with_node(model, ParamSet(presolve=False))
+        assert SpatialBranching(m).branch(s, s.current_node, np.array([0.5])) == []

@@ -1,0 +1,31 @@
+"""Smoke tests: every example script runs to completion."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+SLOW = {"steiner_puc_campaign.py"}
+
+
+@pytest.mark.parametrize("script", [e for e in EXAMPLES if e.name not in SLOW], ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert proc.returncode == 0, f"{script.name} failed:\n{proc.stdout}\n{proc.stderr}"
+    assert proc.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_example_inventory():
+    """The deliverable requires a quickstart plus >= 2 domain scenarios."""
+    names = {e.name for e in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3

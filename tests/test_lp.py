@@ -1,0 +1,163 @@
+"""Tests for the LP substrate: model, simplex, HiGHS backend agreement."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import LPError, ModelError
+from repro.lp import LinearProgram, LPStatus, solve_lp
+
+
+def small_lp() -> LinearProgram:
+    lp = LinearProgram()
+    x = lp.add_variable(0, 10, obj=-1.0, name="x")
+    y = lp.add_variable(0, 10, obj=-2.0, name="y")
+    lp.add_row({x: 1.0, y: 1.0}, rhs=6.0)
+    lp.add_row({x: 1.0, y: -1.0}, lhs=-3.0)
+    return lp
+
+
+class TestModel:
+    def test_counts(self):
+        lp = small_lp()
+        assert lp.num_cols == 2
+        assert lp.num_rows == 2
+
+    def test_bad_bounds_raise(self):
+        lp = LinearProgram()
+        with pytest.raises(ModelError):
+            lp.add_variable(lb=1.0, ub=0.0)
+
+    def test_bad_row_raises(self):
+        lp = LinearProgram()
+        lp.add_variable()
+        with pytest.raises(ModelError):
+            lp.add_row({5: 1.0})
+        with pytest.raises(ModelError):
+            lp.add_row({0: 1.0}, lhs=2.0, rhs=1.0)
+
+    def test_is_feasible(self):
+        lp = small_lp()
+        assert lp.is_feasible(np.array([1.0, 1.0]))
+        assert not lp.is_feasible(np.array([10.0, 10.0]))
+
+    def test_set_bounds_and_objective(self):
+        lp = small_lp()
+        lp.set_bounds(0, 2.0, 3.0)
+        assert lp.get_bounds(0) == (2.0, 3.0)
+        lp.set_objective(0, 5.0)
+        c, *_ = lp.to_arrays()
+        assert c[0] == 5.0
+        with pytest.raises(ModelError):
+            lp.set_bounds(0, 4.0, 3.0)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["highs", "simplex"])
+    def test_simple_optimal(self, backend):
+        sol = solve_lp(small_lp(), backend)
+        assert sol.status is LPStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-10.5)
+
+    @pytest.mark.parametrize("backend", ["highs", "simplex"])
+    def test_infeasible(self, backend):
+        lp = LinearProgram()
+        x = lp.add_variable(0, 1)
+        lp.add_row({x: 1.0}, lhs=2.0)
+        assert solve_lp(lp, backend).status is LPStatus.INFEASIBLE
+
+    @pytest.mark.parametrize("backend", ["highs", "simplex"])
+    def test_unbounded(self, backend):
+        lp = LinearProgram()
+        lp.add_variable(0, math.inf, obj=-1.0)
+        assert solve_lp(lp, backend).status is LPStatus.UNBOUNDED
+
+    @pytest.mark.parametrize("backend", ["highs", "simplex"])
+    def test_equality_rows(self, backend):
+        lp = LinearProgram()
+        x = lp.add_variable(-5, 5, obj=1.0)
+        y = lp.add_variable(-5, 5, obj=1.0)
+        lp.add_row({x: 1.0, y: 1.0}, lhs=3.0, rhs=3.0)
+        sol = solve_lp(lp, backend)
+        assert sol.status is LPStatus.OPTIMAL
+        assert sol.objective == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("backend", ["highs", "simplex"])
+    def test_free_variable(self, backend):
+        lp = LinearProgram()
+        x = lp.add_variable(-math.inf, math.inf, obj=1.0)
+        lp.add_row({x: 1.0}, lhs=-7.0)
+        sol = solve_lp(lp, backend)
+        assert sol.status is LPStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-7.0)
+
+    def test_unknown_backend(self):
+        with pytest.raises(LPError):
+            solve_lp(small_lp(), "cplex")
+
+    @pytest.mark.parametrize("backend", ["highs", "simplex"])
+    def test_duals_reduced_cost_consistency(self, backend):
+        lp = small_lp()
+        sol = solve_lp(lp, backend)
+        c, A, _, _, _, _ = lp.to_arrays()
+        assert np.allclose(sol.reduced_costs, c - A.T @ sol.duals, atol=1e-8)
+
+    @pytest.mark.parametrize("backend", ["highs", "simplex"])
+    def test_dual_sign_convention(self, backend):
+        # min x s.t. x >= 1 -> binding lhs row must have dual +1
+        lp = LinearProgram()
+        x = lp.add_variable(-10, 10, obj=1.0)
+        lp.add_row({x: 1.0}, lhs=1.0)
+        sol = solve_lp(lp, backend)
+        assert sol.duals[0] == pytest.approx(1.0)
+        # min -x s.t. x <= 2 -> binding rhs row must have dual -1
+        lp2 = LinearProgram()
+        x = lp2.add_variable(-10, 10, obj=-1.0)
+        lp2.add_row({x: 1.0}, rhs=2.0)
+        sol2 = solve_lp(lp2, backend)
+        assert sol2.duals[0] == pytest.approx(-1.0)
+
+
+@st.composite
+def random_lp(draw):
+    n = draw(st.integers(2, 6))
+    m = draw(st.integers(1, 5))
+    lp = LinearProgram()
+    for _ in range(n):
+        lb = draw(st.floats(-3, 0))
+        width = draw(st.floats(0.5, 4))
+        obj = draw(st.floats(-2, 2))
+        lp.add_variable(lb, lb + width, obj)
+    for _ in range(m):
+        coefs = {
+            j: draw(st.floats(-2, 2))
+            for j in range(n)
+            if draw(st.booleans())
+        }
+        if not coefs:
+            coefs = {0: 1.0}
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            lp.add_row(coefs, rhs=draw(st.floats(0, 3)))
+        elif kind == 1:
+            lp.add_row(coefs, lhs=draw(st.floats(-3, 0)))
+        else:
+            v = draw(st.floats(-1, 1))
+            lp.add_row(coefs, lhs=v, rhs=v)
+    return lp
+
+
+class TestSimplexVsHighs:
+    @settings(max_examples=60, deadline=None)
+    @given(random_lp())
+    def test_backends_agree(self, lp):
+        a = solve_lp(lp, "highs")
+        b = solve_lp(lp, "simplex")
+        assert a.status == b.status
+        if a.status is LPStatus.OPTIMAL:
+            assert a.objective == pytest.approx(b.objective, abs=1e-6)
+            assert lp.is_feasible(b.x, tol=1e-6)

@@ -1,0 +1,142 @@
+"""Tests for the CBF reader/writer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ModelError
+from repro.sdp.admm import solve_sdp_relaxation
+from repro.sdp.cbf import read_cbf, write_cbf
+from repro.sdp.instances import (
+    cardinality_least_squares,
+    min_k_partitioning,
+    truss_topology_design,
+)
+
+MINIMAL = """
+VER
+1
+
+OBJSENSE
+MAX
+
+VAR
+1 1
+F 1
+
+PSDCON
+1
+2
+
+OBJACOORD
+1
+0 1.0
+
+HCOORD
+1
+0 0 1 0 1.0
+
+DCOORD
+2
+0 0 0 1.0
+0 1 1 1.0
+"""
+
+
+class TestReader:
+    def test_minimal_toy(self):
+        # max y s.t. [[1, y],[y, 1]] >= 0  (H gives +y on offdiag)
+        m = read_cbf(MINIMAL)
+        assert m.num_vars == 1
+        assert len(m.blocks) == 1
+        r = solve_sdp_relaxation(m)
+        assert r.status == "optimal"
+        assert r.objective == pytest.approx(1.0, abs=1e-4)
+
+    def test_min_sense_negates(self):
+        text = MINIMAL.replace("MAX", "MIN")
+        m = read_cbf(text)
+        r = solve_sdp_relaxation(m)
+        # sup of (-y) subject to |y| <= 1 is 1 at y = -1
+        assert r.objective == pytest.approx(1.0, abs=1e-4)
+
+    def test_integer_section(self):
+        text = MINIMAL + "\nINT\n1\n0\n"
+        m = read_cbf(text)
+        assert m.integers == [0]
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ModelError):
+            read_cbf("VER\n1\n\nFRUIT\n3\n")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ModelError):
+            read_cbf("VER\n9\n")
+
+    def test_unsupported_cone_rejected(self):
+        with pytest.raises(ModelError):
+            read_cbf("VER\n1\n\nVAR\n2 1\nQ 2\n")
+
+    def test_comments_ignored(self):
+        m = read_cbf("# hello\n" + MINIMAL)
+        assert m.num_vars == 1
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: min_k_partitioning(n=4, k=2, seed=0),
+            lambda: cardinality_least_squares(n_features=3, n_samples=4, seed=0),
+            lambda: truss_topology_design(n_cols=1, seed=0),
+        ],
+        ids=["mkp", "cls", "ttd"],
+    )
+    def test_instances_roundtrip(self, make):
+        original = make()
+        back = read_cbf(write_cbf(original), name=original.name)
+        assert back.num_vars == original.num_vars
+        assert back.integers == sorted(original.integers)
+        assert len(back.blocks) == len(original.blocks)
+        for b1, b2 in zip(original.blocks, back.blocks):
+            assert np.allclose(b1.C, b2.C)
+            assert sorted(b1.coefs) == sorted(b2.coefs)
+            for j in b1.coefs:
+                assert np.allclose(b1.coefs[j], b2.coefs[j])
+        # feasibility of a reference point is preserved
+        y = np.zeros(original.num_vars)
+        if original.is_feasible(y):
+            assert back.is_feasible(y)
+
+    def test_roundtrip_relaxation_value(self):
+        original = min_k_partitioning(n=4, k=2, seed=1)
+        back = read_cbf(write_cbf(original))
+        r1 = solve_sdp_relaxation(original)
+        r2 = solve_sdp_relaxation(back)
+        assert r1.objective == pytest.approx(r2.objective, abs=1e-3)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_random_bounds_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        from repro.sdp.model import MISDP
+
+        n = 3
+        m = MISDP(
+            "rand",
+            b=rng.normal(size=n),
+            lb=np.array([0.0, -2.0, -np.inf]),
+            ub=np.array([np.inf, 2.0, 0.0]),
+            integers=[1],
+        )
+        B = rng.normal(size=(2, 2))
+        m.add_block(np.eye(2) * 2, {0: (B + B.T) / 4})
+        m.add_linear_row({0: 1.0, 1: -1.0}, rhs=1.5)
+        back = read_cbf(write_cbf(m))
+        r1 = solve_sdp_relaxation(m)
+        r2 = solve_sdp_relaxation(back)
+        assert r1.status == r2.status
+        if r1.status == "optimal":
+            assert r1.objective == pytest.approx(r2.objective, abs=1e-3)

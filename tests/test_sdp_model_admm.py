@@ -1,0 +1,135 @@
+"""Tests for the MISDP model and the ADMM relaxation engine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ModelError
+from repro.sdp.admm import solve_sdp_relaxation
+from repro.sdp.linalg import eig_pairs_below, min_eig, project_psd, sym
+from repro.sdp.model import MISDP
+
+
+def toy_sdp() -> MISDP:
+    """max y s.t. [[1, y], [y, 1]] >= 0, -5 <= y <= 5: optimum y = 1."""
+    m = MISDP("toy", b=np.array([1.0]), lb=np.array([-5.0]), ub=np.array([5.0]))
+    m.add_block(np.eye(2), {0: np.array([[0.0, -1.0], [-1.0, 0.0]])})
+    return m
+
+
+class TestModel:
+    def test_validation_symmetric(self):
+        m = MISDP(b=np.zeros(1), lb=np.zeros(1), ub=np.ones(1))
+        with pytest.raises(ModelError):
+            m.add_block(np.array([[0.0, 1.0], [0.0, 0.0]]), {})
+
+    def test_validation_bounds(self):
+        with pytest.raises(ModelError):
+            MISDP(b=np.zeros(1), lb=np.ones(1), ub=np.zeros(1))
+
+    def test_validation_integer_range(self):
+        with pytest.raises(ModelError):
+            MISDP(b=np.zeros(1), lb=np.zeros(1), ub=np.ones(1), integers=[3])
+
+    def test_block_evaluate(self):
+        m = toy_sdp()
+        Z = m.blocks[0].evaluate(np.array([0.5]))
+        assert Z[0, 1] == pytest.approx(0.5)
+
+    def test_is_feasible(self):
+        m = toy_sdp()
+        assert m.is_feasible(np.array([0.9]))
+        assert not m.is_feasible(np.array([1.5]))
+        assert not m.is_feasible(np.array([9.0]))  # bound violated
+
+    def test_linear_row_feasibility(self):
+        m = toy_sdp()
+        m.add_linear_row({0: 1.0}, rhs=0.5)
+        assert not m.is_feasible(np.array([0.9]))
+
+
+class TestLinalg:
+    def test_project_psd_idempotent(self):
+        rng = np.random.default_rng(0)
+        B = rng.normal(size=(5, 5))
+        M = sym(B)
+        P = project_psd(M)
+        assert min_eig(P)[0] >= -1e-9
+        assert np.allclose(project_psd(P), P, atol=1e-9)
+
+    def test_project_psd_fixes_psd(self):
+        M = np.diag([1.0, 2.0])
+        assert np.allclose(project_psd(M), M)
+
+    def test_eig_pairs_below(self):
+        M = np.diag([-2.0, -0.5, 1.0])
+        pairs = eig_pairs_below(M, 0.0)
+        assert len(pairs) == 2
+        assert pairs[0][0] == pytest.approx(-2.0)
+
+    def test_min_eig_vector(self):
+        M = np.diag([3.0, -1.0])
+        lam, v = min_eig(M)
+        assert lam == pytest.approx(-1.0)
+        assert abs(v[1]) == pytest.approx(1.0)
+
+
+class TestADMM:
+    def test_toy_optimum(self):
+        r = solve_sdp_relaxation(toy_sdp())
+        assert r.status == "optimal"
+        assert r.objective == pytest.approx(1.0, abs=1e-4)
+
+    def test_linear_row_binds(self):
+        m = MISDP(b=np.array([1.0, 1.0]), lb=np.zeros(2), ub=np.ones(2))
+        m.add_block(np.eye(2), {0: np.diag([1.0, 0.0]), 1: np.diag([0.0, 1.0])})
+        m.add_linear_row({0: 1.0, 1: 1.0}, rhs=1.5)
+        r = solve_sdp_relaxation(m)
+        assert r.objective == pytest.approx(1.5, abs=1e-4)
+
+    def test_contradictory_bounds_infeasible(self):
+        m = toy_sdp()
+        r = solve_sdp_relaxation(m, lb=np.array([2.0]), ub=np.array([1.0]))
+        assert r.status == "infeasible"
+
+    def test_penalty_detects_infeasible_block(self):
+        m = MISDP(b=np.array([1.0]), lb=np.array([0.0]), ub=np.array([1.0]))
+        m.add_block(np.array([[-1.0]]), {0: np.zeros((1, 1))})
+        r = solve_sdp_relaxation(m, penalty=True)
+        assert r.status == "infeasible"
+
+    def test_penalty_on_feasible_reports_feasible_point(self):
+        m = toy_sdp()
+        r1 = solve_sdp_relaxation(m, penalty=True)
+        assert r1.status == "optimal"  # feasible: r ~ 0
+        assert m.is_feasible(r1.y, tol=1e-3)
+
+    def test_safe_upper_bound_dominates(self):
+        r = solve_sdp_relaxation(toy_sdp())
+        assert r.safe_upper_bound >= r.objective
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_random_feasible_point(self, seed):
+        rng = np.random.default_rng(seed)
+        n, mvars = 4, 3
+        m = MISDP(b=rng.normal(size=mvars), lb=-np.ones(mvars), ub=np.ones(mvars))
+        mats = {}
+        for i in range(mvars):
+            B = rng.normal(size=(n, n))
+            mats[i] = (B + B.T) / 4
+        m.add_block(np.eye(n) * 2, mats)
+        r = solve_sdp_relaxation(m)
+        assert r.status == "optimal"
+        assert m.is_feasible(r.y, tol=1e-3)
+
+    def test_bound_tightening_reduces_objective(self):
+        m = toy_sdp()
+        full = solve_sdp_relaxation(m).objective
+        tight = solve_sdp_relaxation(m, lb=np.array([-5.0]), ub=np.array([0.5])).objective
+        assert tight <= full + 1e-6
+        assert tight == pytest.approx(0.5, abs=1e-4)

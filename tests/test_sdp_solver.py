@@ -1,0 +1,178 @@
+"""Tests for the MISDP solver: eigenvector cuts, both approaches, plugins."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cip.params import ParamSet
+from repro.sdp.admm import solve_sdp_relaxation
+from repro.sdp.eigcuts import EigenvectorCutHandler, initial_diagonal_cuts
+from repro.sdp.instances import (
+    cardinality_least_squares,
+    cblib_collection,
+    min_k_partitioning,
+    truss_topology_design,
+)
+from repro.sdp.model import MISDP
+from repro.sdp.solver import MISDPSolver
+
+OK_STATUSES = ("optimal", "gap_limit")
+
+
+def brute_force_misdp(misdp: MISDP) -> float:
+    """Enumerate integer assignments; continuous part via ADMM."""
+    best = -np.inf
+    ints = misdp.integers
+    ranges = [range(int(misdp.lb[i]), int(misdp.ub[i]) + 1) for i in ints]
+    for combo in itertools.product(*ranges):
+        lb = misdp.lb.copy()
+        ub = misdp.ub.copy()
+        for i, v in zip(ints, combo):
+            lb[i] = ub[i] = float(v)
+        r = solve_sdp_relaxation(misdp, lb, ub, max_iter=5000)
+        if r.status == "optimal" and r.objective > best and misdp.is_feasible(r.y, 1e-3):
+            best = r.objective
+    return best
+
+
+class TestEigenvectorCuts:
+    def test_cut_separates_infeasible_point(self):
+        m = MISDP(b=np.array([1.0]), lb=np.array([-5.0]), ub=np.array([5.0]))
+        m.add_block(np.eye(2), {0: np.array([[0.0, -1.0], [-1.0, 0.0]])})
+        solver = MISDPSolver(m, approach="lp")
+        solver.prepare()
+        handler = next(h for h in solver.cip.conshdlrs if h.name == "sdp_eigcuts")
+        y_bad = np.array([2.0])
+        assert not handler.check(solver.cip, y_bad)
+        cuts = handler.separate(solver.cip, None, y_bad)
+        assert cuts
+        # every cut must cut off y_bad but keep the feasible y = 1
+        for cut in cuts:
+            assert cut.violation(y_bad) > 1e-6
+            assert cut.violation(np.array([1.0])) <= 1e-6
+
+    def test_check_accepts_feasible(self):
+        m = MISDP(b=np.array([1.0]), lb=np.array([-5.0]), ub=np.array([5.0]))
+        m.add_block(np.eye(2), {0: np.array([[0.0, -1.0], [-1.0, 0.0]])})
+        solver = MISDPSolver(m, approach="lp")
+        solver.prepare()
+        handler = next(h for h in solver.cip.conshdlrs if h.name == "sdp_eigcuts")
+        assert handler.check(solver.cip, np.array([0.5]))
+
+    def test_initial_diagonal_cuts_valid(self):
+        m = cardinality_least_squares(n_features=3, n_samples=4, seed=0)
+        cuts = initial_diagonal_cuts(m)
+        assert cuts  # the Schur block has variable diagonal entries
+        # any feasible point satisfies every diagonal cut
+        y_feas = np.zeros(m.num_vars)
+        y_feas[-1] = 1e3
+        assert m.is_feasible(y_feas)
+        for cut in cuts:
+            assert cut.violation(y_feas) <= 1e-9
+
+
+class TestMISDPSolver:
+    @pytest.mark.parametrize("approach", ["sdp", "lp"])
+    def test_mkp_matches_bruteforce(self, approach):
+        m = min_k_partitioning(n=4, k=2, seed=1)
+        bf = brute_force_misdp(m)
+        sol = MISDPSolver(m, approach=approach, seed=0).solve(node_limit=500, time_limit=120)
+        assert sol.status.value in OK_STATUSES
+        assert sol.objective == pytest.approx(bf, abs=5e-3)
+        assert m.is_feasible(sol.y, tol=1e-4)
+
+    @pytest.mark.parametrize("approach", ["sdp", "lp"])
+    def test_cls_matches_bruteforce(self, approach):
+        m = cardinality_least_squares(n_features=3, n_samples=4, seed=1)
+        bf = brute_force_misdp(m)
+        sol = MISDPSolver(m, approach=approach, seed=0).solve(node_limit=500, time_limit=120)
+        assert sol.status.value in OK_STATUSES
+        assert sol.objective == pytest.approx(bf, abs=5e-3)
+
+    def test_approaches_agree_on_ttd(self):
+        m = truss_topology_design(n_cols=1, seed=0)
+        sols = {
+            a: MISDPSolver(m, approach=a, seed=0).solve(node_limit=2000, time_limit=120)
+            for a in ("sdp", "lp")
+        }
+        assert abs(sols["sdp"].objective - sols["lp"].objective) < 2e-2
+
+    def test_unknown_approach_rejected(self):
+        m = min_k_partitioning(n=4, k=2, seed=0)
+        with pytest.raises(Exception):
+            MISDPSolver(m, approach="quantum")
+
+    def test_approach_via_params_extras(self):
+        m = min_k_partitioning(n=4, k=2, seed=0)
+        p = ParamSet().with_changes(**{"misdp/approach": "lp"})
+        solver = MISDPSolver(m, params=p, approach="sdp")
+        assert solver.approach == "lp"
+
+    def test_dual_bound_upper_bounds_objective(self):
+        m = min_k_partitioning(n=4, k=2, seed=2)
+        sol = MISDPSolver(m, approach="sdp", seed=0).solve(node_limit=500, time_limit=60)
+        assert sol.dual_bound >= sol.objective - 1e-6
+
+    def test_subproblem_serialization(self):
+        m = min_k_partitioning(n=5, k=2, seed=0)
+        solver = MISDPSolver(m, approach="lp", seed=0)
+        solver.prepare()
+        # run a few steps to create open nodes
+        for _ in range(4):
+            out = solver.cip.step()
+            if out.finished:
+                break
+        node = solver.cip.extract_open_node()
+        if node is not None:
+            bounds = solver.node_to_subproblem(node)
+            solver2 = MISDPSolver(m, approach="lp", seed=0)
+            solver2.prepare(bounds)
+            assert solver2.cip is not None
+
+
+class TestInstances:
+    def test_ttd_full_structure_feasible(self):
+        m = truss_topology_design(n_cols=2, seed=0)
+        nb = m.num_vars // 2
+        y = np.concatenate([np.full(nb, 2.0), np.ones(nb)])
+        # the all-bars design satisfies the SDP but may break the budget row;
+        # test the block alone
+        Z = m.blocks[0].evaluate(y)
+        assert np.linalg.eigvalsh(Z)[0] >= -1e-8
+
+    def test_cls_truth_recoverable(self):
+        m = cardinality_least_squares(n_features=4, n_samples=6, seed=3)
+        # zero vector with t large is always feasible
+        y = np.zeros(m.num_vars)
+        y[-1] = 1e3
+        assert m.is_feasible(y)
+
+    def test_mkp_all_same_part_feasible(self):
+        m = min_k_partitioning(n=5, k=3, seed=0)
+        y = np.ones(m.num_vars)  # everything in one part: M(y) = J >= 0
+        assert m.is_feasible(y)
+
+    def test_mkp_singleton_partition_infeasible_when_n_exceeds_k(self):
+        # n=5 singletons need 5 parts; the k=3 Gram matrix cannot realise it
+        m = min_k_partitioning(n=5, k=3, seed=0)
+        assert not m.is_feasible(np.zeros(m.num_vars))
+
+    def test_mkp_invalid_args(self):
+        with pytest.raises(Exception):
+            min_k_partitioning(n=2, k=5)
+
+    def test_cblib_collection_structure(self):
+        suite = cblib_collection(n_ttd=2, n_cls=2, n_mkp=2, seed=0)
+        assert len(suite) == 6
+        families = {fam for fam, _, _ in suite}
+        assert families == {"TTD", "CLS", "Mk-P"}
+        names = [name for _, name, _ in suite]
+        assert len(set(names)) == 6
+
+    def test_generators_deterministic(self):
+        a = min_k_partitioning(n=5, k=2, seed=7)
+        b = min_k_partitioning(n=5, k=2, seed=7)
+        assert np.allclose(a.b, b.b)

@@ -1,0 +1,248 @@
+"""Tests for Steiner graph algorithms: paths, MST, max-flow, dual ascent."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.steiner.dual_ascent import dual_ascent
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.instances import random_instance
+from repro.steiner.maxflow import MaxFlow
+from repro.steiner.mst import mst_on_subgraph, prune_steiner_tree
+from repro.steiner.shortest_paths import (
+    bottleneck_steiner_distance,
+    dijkstra,
+    extract_path,
+    radius_lower_bound,
+    voronoi,
+)
+from repro.steiner.transformations import arborescence_from_arcs, spg_to_sap
+from tests.conftest import brute_force_steiner
+
+
+def to_networkx(g: SteinerGraph) -> nx.Graph:
+    G = nx.Graph()
+    G.add_nodes_from(int(v) for v in g.alive_vertices())
+    for eid in g.alive_edges():
+        e = g.edges[eid]
+        if G.has_edge(e.u, e.v):
+            G[e.u][e.v]["weight"] = min(G[e.u][e.v]["weight"], e.cost)
+        else:
+            G.add_edge(e.u, e.v, weight=e.cost)
+    return G
+
+
+class TestDijkstra:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_matches_networkx(self, seed):
+        g = random_instance(10, 20, 3, seed=seed)
+        G = to_networkx(g)
+        dist, pred = dijkstra(g, 0)
+        nx_dist = nx.single_source_dijkstra_path_length(G, 0)
+        for v in range(g.n):
+            expected = nx_dist.get(v, math.inf)
+            assert dist[v] == pytest.approx(expected)
+
+    def test_extract_path_cost_matches(self):
+        g = random_instance(10, 20, 3, seed=5)
+        dist, pred = dijkstra(g, 0)
+        for target in range(1, 10):
+            if math.isinf(dist[target]):
+                continue
+            path = extract_path(g, pred, target)
+            assert sum(g.edge_cost(e) for e in path) == pytest.approx(dist[target])
+
+    def test_early_stop_targets(self):
+        g = random_instance(12, 25, 3, seed=2)
+        dist_full, _ = dijkstra(g, 0)
+        dist_stop, _ = dijkstra(g, 0, targets={3})
+        assert dist_stop[3] == pytest.approx(dist_full[3])
+
+
+class TestVoronoi:
+    def test_bases_are_nearest_terminals(self):
+        g = random_instance(12, 25, 4, seed=7)
+        vor = voronoi(g)
+        terms = [int(t) for t in g.terminals]
+        for v in range(g.n):
+            if vor.base[v] < 0:
+                continue
+            dists = {t: dijkstra(g, t)[0][v] for t in terms}
+            assert vor.dist[v] == pytest.approx(min(dists.values()))
+
+    def test_radius_bound_below_optimum(self):
+        for seed in range(8):
+            g = random_instance(9, 16, 4, seed=seed)
+            opt = brute_force_steiner(g)
+            assert radius_lower_bound(g) <= opt + 1e-9
+
+
+class TestBottleneckSD:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 500))
+    def test_upper_bounds_have_witness_paths(self, seed):
+        """Every reported SD value must be >= the plain bottleneck of some
+        path, which is >= the true SD; and never smaller than the direct
+        shortest-path bottleneck lower bound we can verify on tiny graphs."""
+        g = random_instance(8, 14, 3, seed=seed)
+        for u in range(g.n):
+            sd = bottleneck_steiner_distance(g, int(u), limit=1e9)
+            dist, _ = dijkstra(g, int(u))
+            for v, val in sd.items():
+                if v == u:
+                    continue
+                # SD <= plain shortest path distance, and our value is an
+                # upper bound on SD but must still be <= that distance too
+                assert val <= dist[v] + 1e-9
+
+    def test_avoid_vertex(self):
+        g = SteinerGraph.create(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        sd = bottleneck_steiner_distance(g, 0, limit=10.0, avoid=1)
+        assert 2 not in sd
+
+
+class TestMST:
+    def test_disconnected_returns_none(self):
+        g = SteinerGraph.create(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        assert mst_on_subgraph(g, {0, 1, 2, 3}) is None
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 500))
+    def test_matches_networkx(self, seed):
+        g = random_instance(10, 22, 3, seed=seed)
+        G = to_networkx(g)
+        res = mst_on_subgraph(g, set(range(10)))
+        assert res is not None
+        nx_cost = sum(d["weight"] for _, _, d in nx.minimum_spanning_tree(G).edges(data=True))
+        assert res[1] == pytest.approx(nx_cost)
+
+    def test_prune_removes_nonterminal_leaves(self):
+        g = SteinerGraph.create(4)
+        e0 = g.add_edge(0, 1, 1.0)
+        e1 = g.add_edge(1, 2, 1.0)
+        e2 = g.add_edge(2, 3, 1.0)
+        g.set_terminal(0)
+        g.set_terminal(2)
+        pruned, cost = prune_steiner_tree(g, [e0, e1, e2])
+        assert sorted(pruned) == [e0, e1]
+        assert cost == pytest.approx(2.0)
+
+
+class TestMaxFlow:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 500))
+    def test_matches_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 6
+        arcs = [(u, v) for u in range(n) for v in range(n) if u != v and rng.random() < 0.5]
+        if not arcs:
+            arcs = [(0, 1)]
+        caps = rng.uniform(0.1, 2.0, len(arcs))
+        mf = MaxFlow(n, np.array([a[0] for a in arcs]), np.array([a[1] for a in arcs]))
+        mf.set_capacities(caps)
+        flow = mf.max_flow(0, n - 1)
+        D = nx.DiGraph()
+        for (u, v), c in zip(arcs, caps):
+            if D.has_edge(u, v):
+                D[u][v]["capacity"] += c
+            else:
+                D.add_edge(u, v, capacity=c)
+        expected = nx.maximum_flow_value(D, 0, n - 1) if D.has_node(0) and D.has_node(n - 1) and nx.has_path(D, 0, n-1) else 0.0
+        assert flow == pytest.approx(expected, abs=1e-6)
+
+    def test_min_cut_separates(self):
+        arcs = [(0, 1), (1, 2)]
+        mf = MaxFlow(3, np.array([0, 1]), np.array([1, 2]))
+        mf.set_capacities(np.array([0.5, 1.0]))
+        flow = mf.max_flow(0, 2)
+        assert flow == pytest.approx(0.5)
+        reach = mf.min_cut_source_side(0)
+        assert reach[0] and not reach[2]
+
+    def test_flow_limit_early_exit(self):
+        mf = MaxFlow(2, np.array([0]), np.array([1]))
+        mf.set_capacities(np.array([5.0]))
+        assert mf.max_flow(0, 1, limit=1.0) == pytest.approx(1.0)
+
+
+class TestDualAscent:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2000))
+    def test_lower_bound_below_optimum(self, seed):
+        g = random_instance(8, 14, 3, seed=seed)
+        opt = brute_force_steiner(g)
+        da = dual_ascent(spg_to_sap(g))
+        assert da.lower_bound <= opt + 1e-6
+
+    def test_reduced_costs_nonnegative(self):
+        g = random_instance(10, 20, 4, seed=3)
+        da = dual_ascent(spg_to_sap(g))
+        assert np.all(da.reduced_costs >= -1e-9)
+
+    def test_root_reaches_all_terminals_via_saturated(self):
+        g = random_instance(10, 20, 4, seed=4)
+        sap = spg_to_sap(g)
+        da = dual_ascent(sap)
+        # forward rc-distance to every terminal must be ~0 at termination
+        for t in sap.sinks():
+            assert da.root_dist[t] <= 1e-6
+
+    def test_infeasible_instance_inf_bound(self):
+        g = SteinerGraph.create(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        g.set_terminal(0)
+        g.set_terminal(2)
+        da = dual_ascent(spg_to_sap(g))
+        assert math.isinf(da.lower_bound)
+
+    def test_arc_fixing_bound_valid(self):
+        # bound for any arc in an optimal tree must not exceed the optimum
+        for seed in range(6):
+            g = random_instance(8, 14, 3, seed=seed)
+            opt = brute_force_steiner(g)
+            sap = spg_to_sap(g)
+            da = dual_ascent(sap)
+            # at least the overall bound must satisfy lb <= opt (spot check
+            # the formula's components are consistent)
+            for a in range(0, sap.num_arcs, 7):
+                bound = da.arc_fixing_bound(a, int(sap.arc_tail[a]), int(sap.arc_head[a]))
+                assert bound >= da.lower_bound - 1e-9
+
+
+class TestTransformations:
+    def test_arc_pairing(self):
+        g = random_instance(8, 14, 3, seed=0)
+        sap = spg_to_sap(g)
+        for a in range(sap.num_arcs):
+            partner = sap.reverse_arc(a)
+            assert partner is not None
+            assert sap.arc_tail[a] == sap.arc_head[partner]
+            assert sap.arc_cost[a] == sap.arc_cost[partner]
+
+    def test_root_is_terminal(self):
+        g = random_instance(8, 14, 3, seed=1)
+        sap = spg_to_sap(g)
+        assert g.is_terminal(sap.root)
+        assert sap.root not in sap.sinks()
+
+    def test_arborescence_extraction_trims_unreachable(self):
+        g = SteinerGraph.create(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.set_terminal(0)
+        g.set_terminal(2)
+        sap = spg_to_sap(g)
+        x = np.ones(sap.num_arcs)  # both directions selected
+        arcs = arborescence_from_arcs(sap, x)
+        assert len(arcs) == 2  # only the root-oriented arcs survive

@@ -1,0 +1,185 @@
+"""Tests for the Steiner graph substrate: mutations and ancestry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphError
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.union_find import UnionFind
+from repro.steiner.validation import validate_tree
+
+
+def path_graph(n: int = 4) -> SteinerGraph:
+    g = SteinerGraph.create(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, float(i + 1))
+    g.set_terminal(0)
+    g.set_terminal(n - 1)
+    return g
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = path_graph()
+        assert g.num_alive_vertices == 4
+        assert g.num_alive_edges == 3
+        assert g.num_terminals == 2
+
+    def test_self_loop_rejected(self):
+        g = SteinerGraph.create(2)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1, 1.0)
+
+    def test_negative_cost_rejected(self):
+        g = SteinerGraph.create(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_unknown_vertex_rejected(self):
+        g = SteinerGraph.create(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 5, 1.0)
+
+    def test_neighbors_and_degree(self):
+        g = path_graph()
+        assert g.degree(1) == 2
+        assert sorted(w for w, _, _ in g.neighbors(1)) == [0, 2]
+
+    def test_find_edge_cheapest_parallel(self):
+        g = SteinerGraph.create(2)
+        e1 = g.add_edge(0, 1, 5.0)
+        e2 = g.add_edge(0, 1, 3.0)
+        assert g.find_edge(0, 1) == e2
+
+
+class TestMutations:
+    def test_delete_vertex(self):
+        g = path_graph()
+        g.delete_vertex(1)
+        assert not g.vertex_alive[1]
+        assert g.degree(0) == 0
+
+    def test_delete_terminal_rejected(self):
+        g = path_graph()
+        with pytest.raises(GraphError):
+            g.delete_vertex(0)
+
+    def test_replace_path_merges_costs_and_ancestors(self):
+        g = path_graph()
+        new = g.replace_path(1)
+        assert new is not None
+        assert g.edge_cost(new) == pytest.approx(3.0)
+        assert set(g.edge_ancestors(new)) == {0, 1}
+        assert not g.vertex_alive[1]
+
+    def test_replace_path_keeps_cheaper_parallel(self):
+        g = SteinerGraph.create(3)
+        g.add_edge(0, 1, 5.0)
+        g.add_edge(1, 2, 5.0)
+        direct = g.add_edge(0, 2, 1.0)
+        g.set_terminal(0)
+        g.set_terminal(2)
+        assert g.replace_path(1) is None
+        assert g.edges[direct].alive
+
+    def test_replace_path_wrong_degree(self):
+        g = SteinerGraph.create(3)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(GraphError):
+            g.replace_path(1)
+
+    def test_contract_adds_fixed_cost_and_edges(self):
+        g = path_graph()
+        eid = g.find_edge(0, 1)
+        g.contract_into_terminal(eid, 0)
+        assert g.fixed_cost == pytest.approx(1.0)
+        assert 0 in g.fixed_edges or eid in g.fixed_edges
+        assert not g.vertex_alive[1]
+        # vertex 2's edge re-hooked onto terminal 0
+        assert g.find_edge(0, 2) is not None
+
+    def test_contract_requires_terminal_endpoint(self):
+        g = path_graph()
+        eid = g.find_edge(1, 2)
+        with pytest.raises(GraphError):
+            g.contract_into_terminal(eid, 1)  # 1 is not a terminal
+
+    def test_contract_merges_terminal_status(self):
+        g = path_graph()
+        g.set_terminal(1)
+        eid = g.find_edge(0, 1)
+        g.contract_into_terminal(eid, 0)
+        assert g.num_terminals == 2  # terminal 1 absorbed into 0
+
+    def test_expand_solution_roundtrip(self):
+        g = path_graph()
+        orig = g.copy()
+        g.replace_path(1)
+        g.replace_path(2)
+        (eid,) = g.alive_edges()
+        edges, cost = g.expand_solution([eid])
+        assert sorted(edges) == [0, 1, 2]
+        assert cost == pytest.approx(6.0)
+        assert validate_tree(orig, edges, original=True) == pytest.approx(6.0)
+
+    def test_copy_is_deep(self):
+        g = path_graph()
+        c = g.copy()
+        c.delete_vertex(1)
+        assert g.vertex_alive[1]
+        c.set_terminal(2)
+        assert not g.is_terminal(2)
+
+
+class TestValidation:
+    def test_cycle_rejected(self):
+        g = SteinerGraph.create(3)
+        e = [g.add_edge(0, 1, 1), g.add_edge(1, 2, 1), g.add_edge(0, 2, 1)]
+        g.set_terminal(0)
+        g.set_terminal(2)
+        with pytest.raises(GraphError):
+            validate_tree(g, e)
+
+    def test_disconnected_terminals_rejected(self):
+        g = path_graph()
+        with pytest.raises(GraphError):
+            validate_tree(g, [0])
+
+    def test_duplicate_rejected(self):
+        g = path_graph()
+        with pytest.raises(GraphError):
+            validate_tree(g, [0, 0])
+
+
+class TestUnionFind:
+    def test_basic(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.n_components == 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40))
+    def test_matches_naive(self, unions):
+        n = 15
+        uf = UnionFind(n)
+        groups = [{i} for i in range(n)]
+
+        def gfind(x):
+            return next(g for g in groups if x in g)
+
+        for a, b in unions:
+            uf.union(a, b)
+            ga, gb = gfind(a), gfind(b)
+            if ga is not gb:
+                groups.remove(gb)
+                ga |= gb
+        for a in range(n):
+            for b in range(n):
+                assert uf.connected(a, b) == (gfind(a) is gfind(b))
+        assert uf.n_components == len(groups)

@@ -1,0 +1,116 @@
+"""Property tests: every reduction preserves the optimal value and
+solutions expand back to valid original-graph trees."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.instances import hypercube_instance, random_instance
+from repro.steiner.mst import mst_on_subgraph, prune_steiner_tree
+from repro.steiner.reductions import reduce_graph
+from repro.steiner.reductions.basic import (
+    adjacent_terminals,
+    degree_tests,
+    parallel_edges,
+    terminal_degree1,
+)
+from repro.steiner.reductions.bound_based import bound_based_tests
+from repro.steiner.reductions.extended import extended_edge_test
+from repro.steiner.reductions.sd import sd_edge_test
+from repro.steiner.validation import validate_tree
+from tests.conftest import brute_force_steiner
+
+
+def reduced_optimum(graph: SteinerGraph) -> float:
+    """Brute-force optimum of a reduced graph plus its fixed cost."""
+    if graph.num_terminals <= 1:
+        return graph.fixed_cost
+    return graph.fixed_cost + brute_force_steiner(graph)
+
+
+REDUCTIONS = {
+    "degree": degree_tests,
+    "terminal1": terminal_degree1,
+    "adjacent_terminals": adjacent_terminals,
+    "parallel": parallel_edges,
+    "sd": sd_edge_test,
+    "bound": bound_based_tests,
+    "extended": extended_edge_test,
+}
+
+
+@pytest.mark.parametrize("name", sorted(REDUCTIONS))
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_single_reduction_preserves_optimum(name, seed):
+    g = random_instance(8, 13, 3, seed=seed)
+    opt = brute_force_steiner(g)
+    reduced = g.copy()
+    REDUCTIONS[name](reduced)
+    assert reduced_optimum(reduced) == pytest.approx(opt)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_full_pipeline_preserves_optimum(seed):
+    g = random_instance(9, 16, 4, seed=seed)
+    opt = brute_force_steiner(g)
+    reduced = g.copy()
+    stats = reduce_graph(reduced, use_extended=True, seed=seed)
+    assert stats.total >= 0
+    assert reduced_optimum(reduced) == pytest.approx(opt)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_expanded_solution_is_valid_original_tree(seed):
+    g = random_instance(10, 18, 4, seed=seed)
+    original = g.copy()
+    opt = brute_force_steiner(g)
+    reduced = g.copy()
+    reduce_graph(reduced, use_extended=True, seed=seed)
+    if reduced.num_terminals <= 1:
+        edges, cost = reduced.expand_solution([])
+    else:
+        # brute-force solve the reduced graph, then expand
+        terms = [int(t) for t in reduced.terminals]
+        best_edges, best_cost = None, None
+        import itertools
+
+        nonterms = [int(v) for v in reduced.alive_vertices() if not reduced.is_terminal(int(v))]
+        for k in range(len(nonterms) + 1):
+            for sub in itertools.combinations(nonterms, k):
+                r = mst_on_subgraph(reduced, set(terms) | set(sub))
+                if r is None:
+                    continue
+                pruned, cost = prune_steiner_tree(reduced, r[0])
+                if best_cost is None or cost < best_cost:
+                    best_edges, best_cost = pruned, cost
+        edges, cost = reduced.expand_solution(best_edges)
+    checked = validate_tree(original, edges, original=True)
+    assert checked == pytest.approx(cost)
+    assert cost == pytest.approx(opt)
+
+
+def test_pipeline_respects_flags():
+    g = random_instance(12, 25, 4, seed=9)
+    g1 = g.copy()
+    s1 = reduce_graph(g1, use_sd=False, use_bound_based=False, use_extended=False)
+    assert s1.sd == 0 and s1.bound == 0 and s1.extended == 0
+
+
+def test_unit_hypercube_resists_reduction():
+    """The PUC hallmark: presolve removes (almost) nothing on hc*u."""
+    g = hypercube_instance(5, perturbed=False, seed=0)
+    before = g.num_alive_edges
+    stats = reduce_graph(g, use_extended=True, seed=0)
+    assert g.num_alive_edges >= 0.9 * before
+
+
+def test_stats_bookkeeping():
+    g = random_instance(10, 20, 3, seed=1)
+    stats = reduce_graph(g.copy(), seed=1)
+    assert stats.total == stats.degree + stats.terminal + stats.parallel + stats.sd + stats.bound + stats.extended
+    assert stats.rounds == len(stats.by_round)

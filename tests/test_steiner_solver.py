@@ -1,0 +1,202 @@
+"""Tests for the full Steiner branch-and-cut solver and its UG contract."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cip.params import ParamSet
+from repro.cip.result import SolveStatus
+from repro.steiner.instances import (
+    bipartite_instance,
+    code_cover_instance,
+    grid_instance,
+    hypercube_instance,
+    random_instance,
+)
+from repro.steiner.solver import SteinerSolver
+from repro.steiner.stp_io import parse_stp, write_stp
+from repro.steiner.validation import validate_tree
+from tests.conftest import brute_force_steiner
+
+
+class TestSolverCorrectness:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_bruteforce(self, seed):
+        g = random_instance(9, 16, 4, seed=seed)
+        opt = brute_force_steiner(g)
+        sol = SteinerSolver(g.copy(), seed=seed).solve(node_limit=1000)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.cost == pytest.approx(opt)
+        assert validate_tree(g, sol.edges, original=True) == pytest.approx(opt)
+
+    def test_trivial_two_terminals(self):
+        g = grid_instance(3, 3, 2, seed=0)
+        sol = SteinerSolver(g.copy()).solve()
+        assert sol.status is SolveStatus.OPTIMAL
+        validate_tree(g, sol.edges, original=True)
+
+    def test_single_terminal(self):
+        g = random_instance(6, 10, 2, seed=0)
+        # reduce to a single terminal by clearing one
+        terms = [int(t) for t in g.terminals]
+        g.set_terminal(terms[1], False)
+        sol = SteinerSolver(g.copy()).solve()
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.cost == pytest.approx(0.0)
+        assert sol.edges == []
+
+    def test_unit_hypercube_needs_branching(self):
+        g = hypercube_instance(4, perturbed=False, seed=0)
+        sol = SteinerSolver(g.copy(), seed=0).solve(node_limit=500)
+        assert sol.status is SolveStatus.OPTIMAL
+        validate_tree(g, sol.edges, original=True)
+
+    def test_node_limit_reports_bounds(self):
+        g = hypercube_instance(5, perturbed=False, seed=0)
+        sol = SteinerSolver(g.copy(), seed=0).solve(node_limit=2)
+        assert sol.status in (SolveStatus.NODE_LIMIT, SolveStatus.OPTIMAL)
+        assert sol.dual_bound <= sol.cost + 1e-9
+
+    def test_reduction_stats_populated(self):
+        g = random_instance(12, 24, 4, seed=3)
+        solver = SteinerSolver(g.copy(), seed=0)
+        sol = solver.solve(node_limit=200)
+        assert sol.reduction_stats is not None
+        assert sol.reduction_stats.total > 0
+
+
+class TestSubproblemContract:
+    def _prepare_with_open_nodes(self, g, seed=0):
+        solver = SteinerSolver(g.copy(), seed=seed)
+        solver.prepare()
+        assert solver.cip is not None
+        for _ in range(6):
+            out = solver.cip.step()
+            if out.finished or solver.cip.n_open() >= 2:
+                break
+        return solver
+
+    def test_decisions_roundtrip(self):
+        g = hypercube_instance(4, perturbed=False, seed=0)
+        solver = self._prepare_with_open_nodes(g)
+        node = solver.cip.extract_open_node()
+        if node is None:
+            pytest.skip("instance solved at root")
+        decisions, fixings = solver.node_to_subproblem(node)
+        child = SteinerSolver(g.copy(), seed=0)
+        child.prepare(decisions, fixings, dual_bound_estimate=node.lower_bound)
+        # the child solver must be buildable and solvable
+        if child.cip is not None:
+            res = child.cip.solve(node_limit=300)
+            if res.best_solution is not None:
+                edges = child.extract_original_edges()
+                validate_tree(g, edges, original=True)
+
+    def test_out_decision_deletes_vertex(self):
+        g = random_instance(10, 20, 3, seed=1)
+        nonterm = next(int(v) for v in g.alive_vertices() if not g.is_terminal(int(v)))
+        solver = SteinerSolver(g.copy(), seed=0)
+        solver.prepare(decisions=((nonterm, "out"),), reduce=False)
+        assert solver.graph is not None
+        assert not solver.graph.vertex_alive[nonterm]
+
+    def test_in_decision_adds_terminal(self):
+        g = random_instance(10, 20, 3, seed=1)
+        nonterm = next(int(v) for v in g.alive_vertices() if not g.is_terminal(int(v)))
+        solver = SteinerSolver(g.copy(), seed=0)
+        solver.prepare(decisions=((nonterm, "in"),), reduce=False)
+        assert solver.graph.is_terminal(nonterm)
+
+    def test_subproblem_optimum_never_better_than_parent(self):
+        g = hypercube_instance(4, perturbed=True, seed=2)
+        parent = SteinerSolver(g.copy(), seed=0).solve(node_limit=500)
+        nonterm = next(int(v) for v in g.alive_vertices() if not g.is_terminal(int(v)))
+        for action in ("in", "out"):
+            child = SteinerSolver(g.copy(), seed=0)
+            child.prepare(decisions=((nonterm, action),))
+            sol = child.solve(node_limit=500)
+            if sol.status is SolveStatus.OPTIMAL and sol.edges:
+                assert sol.cost >= parent.cost - 1e-9
+
+
+class TestInstanceGenerators:
+    def test_hypercube_structure(self):
+        g = hypercube_instance(4)
+        assert g.num_alive_vertices == 16
+        assert g.num_alive_edges == 32
+        assert g.num_terminals == 8
+
+    def test_code_cover_structure(self):
+        g = code_cover_instance(3, 3, seed=0)
+        assert g.num_alive_vertices == 27
+        assert g.num_alive_edges == 27 * 6 // 2
+
+    def test_bipartite_terminals_left(self):
+        g = bipartite_instance(10, 15, seed=0)
+        assert g.num_terminals == 10
+        assert all(g.is_terminal(v) for v in range(10))
+
+    def test_generators_deterministic(self):
+        a = bipartite_instance(8, 12, seed=3)
+        b = bipartite_instance(8, 12, seed=3)
+        assert a.num_alive_edges == b.num_alive_edges
+        assert [e.cost for e in a.edges] == [e.cost for e in b.edges]
+
+    def test_random_instance_connected(self):
+        from repro.steiner.shortest_paths import dijkstra
+
+        g = random_instance(15, 25, 5, seed=0)
+        dist, _ = dijkstra(g, 0)
+        assert all(math.isfinite(dist[v]) for v in range(15))
+
+    def test_invalid_args(self):
+        with pytest.raises(Exception):
+            hypercube_instance(1)
+        with pytest.raises(Exception):
+            random_instance(10, 3, 2)
+        with pytest.raises(Exception):
+            grid_instance(3, 3, 1)
+
+
+class TestStpIO:
+    def test_roundtrip(self):
+        g = random_instance(10, 18, 4, seed=5)
+        text = write_stp(g, "roundtrip")
+        g2 = parse_stp(text)
+        assert g2.num_alive_vertices == g.num_alive_vertices
+        assert g2.num_alive_edges == g.num_alive_edges
+        assert g2.num_terminals == g.num_terminals
+        assert brute_force_steiner(g2) == pytest.approx(brute_force_steiner(g))
+
+    def test_parse_minimal(self):
+        text = """
+        SECTION Graph
+        Nodes 3
+        Edges 2
+        E 1 2 1.5
+        E 2 3 2
+        END
+        SECTION Terminals
+        Terminals 2
+        T 1
+        T 3
+        END
+        EOF
+        """
+        g = parse_stp(text)
+        assert g.num_alive_vertices == 3
+        assert g.num_terminals == 2
+        assert g.edges[0].cost == pytest.approx(1.5)
+
+    def test_parse_rejects_no_terminals(self):
+        with pytest.raises(Exception):
+            parse_stp("SECTION Graph\nNodes 2\nEdges 1\nE 1 2 1\nEND\n")
+
+    def test_parse_rejects_prize_collecting(self):
+        text = "SECTION Graph\nNodes 2\nEdges 1\nE 1 2 1\nEND\nSECTION Terminals\nRootP 1\nEND\n"
+        with pytest.raises(Exception):
+            parse_stp(text)

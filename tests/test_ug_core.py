@@ -1,0 +1,193 @@
+"""Tests for UG data types, checkpointing and the LoadCoordinator logic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cip.params import ParamSet
+from repro.ug.checkpoint import load_checkpoint, save_checkpoint
+from repro.ug.config import UGConfig
+from repro.ug.load_coordinator import LoadCoordinator
+from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag
+from repro.ug.para_node import ParaNode
+from repro.ug.para_solution import ParaSolution
+from repro.ug.user_plugins import UserPlugins
+from repro.exceptions import CheckpointError
+
+
+class TestParaTypes:
+    def test_para_node_json_roundtrip(self):
+        node = ParaNode({"decisions": [[3, "in"]]}, dual_bound=7.5, depth=2, lc_id=4, lineage=(1, 2))
+        back = ParaNode.from_json(node.to_json())
+        assert back == node
+
+    def test_para_node_inf_bound_roundtrip_via_checkpoint(self, tmp_path):
+        node = ParaNode({}, dual_bound=-math.inf)
+        path = tmp_path / "cp.json"
+        save_checkpoint(path, [node], None)
+        cp = load_checkpoint(path)
+        assert cp.nodes[0].dual_bound == -math.inf
+
+    def test_para_solution_improves(self):
+        a = ParaSolution(5.0)
+        assert a.improves(None)
+        assert ParaSolution(4.0).improves(a)
+        assert not ParaSolution(5.0).improves(a)
+
+    def test_message_ordering(self):
+        m1 = Message(tag=MessageTag.STATUS, src=1, dst=0)
+        m2 = Message(tag=MessageTag.STATUS, src=2, dst=0)
+        assert m1 < m2  # send sequence orders messages
+
+
+class TestCheckpoint:
+    def test_roundtrip_with_incumbent(self, tmp_path):
+        nodes = [ParaNode({"bounds": [[0, 0.0, 1.0]]}, dual_bound=3.0, lc_id=7)]
+        inc = ParaSolution(12.0, {"edges": [1, 2]})
+        path = tmp_path / "cp.json"
+        save_checkpoint(path, nodes, inc)
+        cp = load_checkpoint(path)
+        assert len(cp.nodes) == 1
+        assert cp.nodes[0].payload == {"bounds": [[0, 0.0, 1.0]]}
+        assert cp.incumbent.value == 12.0
+        assert cp.incumbent.payload == {"edges": [1, 2]}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope.json")
+
+    def test_bad_version_raises(self, tmp_path):
+        p = tmp_path / "cp.json"
+        p.write_text('{"version": 99, "nodes": [], "incumbent": null}')
+        with pytest.raises(CheckpointError):
+            load_checkpoint(p)
+
+
+class _NullPlugins(UserPlugins):
+    base_solver_name = "Null"
+
+
+def make_lc(n=3, **cfg) -> LoadCoordinator:
+    return LoadCoordinator("instance", _NullPlugins(), ParamSet(), UGConfig(**cfg), n)
+
+
+def collect_sends():
+    sent = []
+
+    def send(dst, tag, payload):
+        sent.append((dst, tag, payload))
+
+    return sent, send
+
+
+class TestLoadCoordinator:
+    def test_normal_start_assigns_single_root(self):
+        lc = make_lc(3)
+        sent, send = collect_sends()
+        lc.start(send, 0.0)
+        subs = [m for m in sent if m[1] is MessageTag.SUBPROBLEM]
+        assert len(subs) == 1
+        assert subs[0][0] == 1
+        assert lc.stats.transferred_nodes == 1
+
+    def test_racing_start_feeds_everyone(self):
+        lc = make_lc(4, ramp_up="racing")
+        sent, send = collect_sends()
+        lc.start(send, 0.0)
+        races = [m for m in sent if m[1] is MessageTag.RACING_START]
+        assert len(races) == 4
+        settings = [m[2]["settings"] for m in races]
+        seeds = {s.permutation_seed for s in settings}
+        assert len(seeds) == 4  # diversified
+
+    def test_solution_broadcast_and_pool_prune(self):
+        lc = make_lc(2)
+        sent, send = collect_sends()
+        lc.start(send, 0.0)
+        # park a bad node in the pool
+        lc._push_pool(ParaNode({}, dual_bound=100.0))
+        msg = Message(
+            tag=MessageTag.SOLUTION_FOUND,
+            src=1,
+            dst=0,
+            payload={"solution": ParaSolution(50.0), "rank": 1},
+        )
+        lc.handle_message(msg, send, 1.0)
+        assert lc.incumbent.value == 50.0
+        assert lc.pool_size() == 0  # dominated node pruned
+        incs = [m for m in sent if m[1] is MessageTag.INCUMBENT]
+        assert incs  # shared with the active solver
+
+    def test_termination_when_all_done(self):
+        lc = make_lc(1)
+        sent, send = collect_sends()
+        lc.start(send, 0.0)
+        msg = Message(
+            tag=MessageTag.TERMINATED,
+            src=1,
+            dst=0,
+            payload={"rank": 1, "dual_bound": 5.0, "nodes_processed": 10},
+        )
+        lc.handle_message(msg, send, 2.0)
+        assert lc.finished
+        terms = [m for m in sent if m[1] is MessageTag.TERMINATION]
+        assert len(terms) == 1
+        assert lc.stats.nodes_generated == 10
+        assert lc.stats.computing_time == 2.0
+
+    def test_node_transfer_pruned_by_incumbent(self):
+        lc = make_lc(2)
+        sent, send = collect_sends()
+        lc.start(send, 0.0)
+        lc.incumbent = ParaSolution(10.0)
+        msg = Message(
+            tag=MessageTag.NODE_TRANSFER,
+            src=1,
+            dst=0,
+            payload={"node": ParaNode({}, dual_bound=11.0), "rank": 1},
+        )
+        lc.handle_message(msg, send, 1.0)
+        assert lc.pool_size() == 0
+
+    def test_primitive_nodes_filter_lineage(self):
+        lc = make_lc(2)
+        sent, send = collect_sends()
+        lc.start(send, 0.0)
+        seed = lc.active[1]
+        # node extracted from solver 1 descends from the active seed
+        child = ParaNode({}, dual_bound=1.0, lineage=(seed.lc_id,))
+        lc._push_pool(child)
+        # an unrelated orphan whose ancestor terminated
+        orphan = ParaNode({}, dual_bound=2.0, lineage=(999,))
+        lc._push_pool(orphan)
+        saved = lc.primitive_nodes()
+        assert seed in saved
+        assert orphan in saved
+        assert child not in saved
+
+    def test_interrupt_writes_checkpoint(self, tmp_path):
+        path = str(tmp_path / "cp.json")
+        lc = make_lc(2, checkpoint_path=path)
+        sent, send = collect_sends()
+        lc.start(send, 0.0)
+        lc.interrupt(send, 3.0)
+        assert lc.finished
+        cp = load_checkpoint(path)
+        assert len(cp.nodes) >= 1  # the active seed is primitive
+
+    def test_objective_epsilon_integral(self):
+        lc = make_lc(2, objective_epsilon=1 - 1e-6)
+        sent, send = collect_sends()
+        lc.start(send, 0.0)
+        lc.incumbent = ParaSolution(10.0)
+        # dual bound 9.5 cannot improve on 10 for integral objectives
+        msg = Message(
+            tag=MessageTag.NODE_TRANSFER,
+            src=1,
+            dst=0,
+            payload={"node": ParaNode({}, dual_bound=9.5), "rank": 1},
+        )
+        lc.handle_message(msg, send, 1.0)
+        assert lc.pool_size() == 0

@@ -1,0 +1,116 @@
+"""Engine-level tests: virtual-time accounting and thread liveness."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cip.params import ParamSet
+from repro.ug.config import UGConfig
+from repro.ug.engines import SimEngine, ThreadEngine
+from repro.ug.load_coordinator import LoadCoordinator
+from repro.ug.messages import MessageTag
+from repro.ug.para_node import ParaNode
+from repro.ug.para_solution import ParaSolution
+from repro.ug.para_solver import ParaSolver
+from repro.ug.user_plugins import HandleStep, SolverHandle, UserPlugins
+
+
+class CountdownHandle(SolverHandle):
+    """Processes ``n`` nodes of fixed work, then finishes with a solution."""
+
+    def __init__(self, n: int, work: float, value: float):
+        self.remaining = n
+        self.work = work
+        self.value = value
+
+    def step(self) -> HandleStep:
+        self.remaining -= 1
+        done = self.remaining <= 0
+        sols = [ParaSolution(self.value)] if done else []
+        return HandleStep(done, self.work, self.value - 1.0, self.remaining, sols, 1)
+
+    def extract_para_node(self):
+        return None
+
+    def inject_incumbent_value(self, value: float) -> None:
+        pass
+
+    def dual_bound(self) -> float:
+        return self.value - 1.0
+
+    def n_open(self) -> int:
+        return self.remaining
+
+
+class CountdownPlugins(UserPlugins):
+    base_solver_name = "Countdown"
+
+    def __init__(self, n=10, work=0.01, value=5.0):
+        self.n, self.work, self.value = n, work, value
+
+    def create_handle(self, instance, node, params, seed, incumbent):
+        return CountdownHandle(self.n, self.work, self.value)
+
+
+def build(engine_cls, n_solvers=2, plugins=None, **cfg):
+    config = UGConfig(**cfg)
+    lc = LoadCoordinator("inst", plugins or CountdownPlugins(), ParamSet(), config, n_solvers)
+    solvers = {
+        r: ParaSolver(r, lc.instance, lc.user_plugins, ParamSet(), 0,
+                      status_interval_work=config.status_interval_work)
+        for r in range(1, n_solvers + 1)
+    }
+    return engine_cls(lc, solvers, config), lc
+
+
+class TestSimEngine:
+    def test_virtual_time_matches_work(self):
+        engine, lc = build(SimEngine, n_solvers=1)
+        engine.run()
+        # 10 nodes x 0.01 work, plus message latencies
+        assert lc.stats.computing_time == pytest.approx(0.1, abs=0.02)
+        assert lc.incumbent.value == 5.0
+        assert lc.finished
+
+    def test_deterministic_across_runs(self):
+        def once():
+            engine, lc = build(SimEngine, n_solvers=3)
+            engine.run()
+            return (lc.stats.computing_time, lc.stats.nodes_generated, lc.stats.transferred_nodes)
+
+        assert once() == once()
+
+    def test_time_limit_interrupts(self):
+        engine, lc = build(SimEngine, n_solvers=1, time_limit=0.03,
+                           plugins=CountdownPlugins(n=1000, work=0.01))
+        engine.run()
+        assert lc.finished
+        assert lc.stats.computing_time <= 0.1
+
+    def test_node_limit_interrupts(self):
+        engine, lc = build(SimEngine, n_solvers=1, node_limit=3,
+                           plugins=CountdownPlugins(n=1000, work=0.01))
+        engine.run()
+        assert lc.finished
+        assert lc.stats.nodes_generated <= 20
+
+    def test_idle_ratio_with_single_worker(self):
+        engine, lc = build(SimEngine, n_solvers=4)  # only rank 1 gets work
+        engine.run()
+        assert lc.stats.idle_ratio > 0.5  # three solvers idle throughout
+
+
+class TestThreadEngine:
+    def test_runs_and_terminates(self):
+        engine, lc = build(ThreadEngine, n_solvers=2, time_limit=30.0)
+        engine.run()
+        assert lc.finished
+        assert lc.incumbent is not None and lc.incumbent.value == 5.0
+
+    def test_time_limit(self):
+        engine, lc = build(ThreadEngine, n_solvers=1, time_limit=0.5,
+                           plugins=CountdownPlugins(n=10**9, work=0.0))
+        engine.run()
+        assert lc.finished

@@ -1,0 +1,153 @@
+"""Integration tests: full ug[SteinerJack,*] and ug[MISDP,*] runs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps.misdp_plugins import MISDPUserPlugins
+from repro.apps.stp_plugins import SteinerUserPlugins
+from repro.exceptions import CommError
+from repro.sdp.instances import cardinality_least_squares, min_k_partitioning
+from repro.sdp.solver import MISDPSolver
+from repro.steiner.instances import hypercube_instance, random_instance
+from repro.steiner.solver import SteinerSolver
+from repro.steiner.validation import validate_tree
+from repro.ug import ug
+from repro.ug.checkpoint import load_checkpoint
+from repro.ug.config import UGConfig
+
+
+@pytest.fixture(scope="module")
+def hc4():
+    return hypercube_instance(4, perturbed=False, seed=1)
+
+
+@pytest.fixture(scope="module")
+def hc4_optimum(hc4):
+    return SteinerSolver(hc4.copy(), seed=0).solve(node_limit=500).cost
+
+
+STP_CFG = dict(time_limit=1e9, objective_epsilon=1 - 1e-6)
+
+
+class TestSteinerSim:
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_matches_sequential(self, hc4, hc4_optimum, n):
+        s = ug(hc4.copy(), SteinerUserPlugins(), n_solvers=n, comm="sim",
+               config=UGConfig(**STP_CFG), wall_clock_limit=120)
+        res = s.run()
+        assert res.solved
+        assert res.objective == pytest.approx(hc4_optimum)
+        assert res.stats.nodes_generated >= 1
+        assert res.stats.transferred_nodes >= 1
+
+    def test_solution_payload_is_valid_tree(self, hc4, hc4_optimum):
+        s = ug(hc4.copy(), SteinerUserPlugins(), n_solvers=2, comm="sim",
+               config=UGConfig(**STP_CFG), wall_clock_limit=120)
+        res = s.run()
+        edges = res.incumbent.payload["edges"]
+        assert validate_tree(hc4, edges, original=True) == pytest.approx(res.objective)
+
+    def test_deterministic(self, hc4):
+        def one():
+            s = ug(hc4.copy(), SteinerUserPlugins(), n_solvers=3, comm="sim",
+                   config=UGConfig(**STP_CFG), seed=5, wall_clock_limit=120)
+            r = s.run()
+            return (r.objective, r.stats.computing_time, r.stats.nodes_generated,
+                    r.stats.transferred_nodes)
+
+        assert one() == one()
+
+    def test_presolved_trivially_at_lc(self):
+        g = random_instance(10, 18, 3, seed=0)  # presolve solves it outright
+        s = ug(g, SteinerUserPlugins(), n_solvers=2, comm="sim",
+               config=UGConfig(**STP_CFG), wall_clock_limit=60)
+        res = s.run()
+        assert res.solved
+        seq = SteinerSolver(g.copy(), seed=0).solve()
+        assert res.objective == pytest.approx(seq.cost)
+
+    def test_naming(self, hc4):
+        assert ug(hc4, SteinerUserPlugins(), 2, comm="sim").name == "ug[SteinerJack, SimMPI]"
+        assert ug(hc4, SteinerUserPlugins(), 2, comm="threads").name == "ug[SteinerJack, C++11]"
+        with pytest.raises(CommError):
+            ug(hc4, SteinerUserPlugins(), 2, comm="smoke")
+        with pytest.raises(CommError):
+            ug(hc4, SteinerUserPlugins(), 0)
+
+    def test_time_limit_interrupt(self):
+        g = hypercube_instance(5, perturbed=False, seed=1)
+        cfg = UGConfig(time_limit=0.2, objective_epsilon=1 - 1e-6)
+        res = ug(g, SteinerUserPlugins(), n_solvers=2, comm="sim", config=cfg,
+                 wall_clock_limit=60).run()
+        assert res.stats.computing_time <= 0.5
+
+
+class TestSteinerThreads:
+    def test_matches_sequential(self, hc4, hc4_optimum):
+        s = ug(hc4.copy(), SteinerUserPlugins(), n_solvers=2, comm="threads",
+               config=UGConfig(time_limit=90, objective_epsilon=1 - 1e-6))
+        res = s.run()
+        assert res.objective == pytest.approx(hc4_optimum)
+
+
+class TestCheckpointRestart:
+    def test_restart_completes(self, tmp_path):
+        g = hypercube_instance(5, perturbed=False, seed=1)
+        path = str(tmp_path / "cp.json")
+        cfg = UGConfig(time_limit=0.3, checkpoint_path=path, checkpoint_interval=0.05,
+                       objective_epsilon=1 - 1e-6)
+        r1 = ug(g.copy(), SteinerUserPlugins(), n_solvers=3, comm="sim", config=cfg,
+                wall_clock_limit=90).run()
+        cp = load_checkpoint(path)
+        # primitive-node collapse: saved set never exceeds the open frontier
+        assert len(cp.nodes) <= max(r1.stats.open_nodes_final, 1)
+        cfg2 = UGConfig(time_limit=1e9, objective_epsilon=1 - 1e-6)
+        r2 = ug(g.copy(), SteinerUserPlugins(), n_solvers=3, comm="sim", config=cfg2,
+                wall_clock_limit=120).run(restart_from=path)
+        assert r2.solved
+        seq = SteinerSolver(g.copy(), seed=0).solve()
+        assert r2.objective == pytest.approx(seq.cost)
+
+
+class TestRacing:
+    def test_steiner_racing(self, hc4, hc4_optimum):
+        cfg = UGConfig(ramp_up="racing", racing_deadline=0.05,
+                       racing_open_node_threshold=8, time_limit=1e9,
+                       objective_epsilon=1 - 1e-6)
+        res = ug(hc4.copy(), SteinerUserPlugins(), n_solvers=4, comm="sim",
+                 config=cfg, wall_clock_limit=120).run()
+        assert res.objective == pytest.approx(hc4_optimum)
+        # either a winner was declared or a racer finished outright
+        assert res.stats.racing_winner is not None or res.stats.solved_in_racing
+
+    def test_misdp_racing_mixes_approaches(self):
+        m = cardinality_least_squares(n_features=4, n_samples=5, seed=2)
+        plugins = MISDPUserPlugins()
+        sets = plugins.racing_param_sets(6, __import__("repro.cip.params", fromlist=["ParamSet"]).ParamSet())
+        approaches = [s.get_extra("misdp/approach") for s in sets]
+        assert approaches == ["sdp", "lp", "sdp", "lp", "sdp", "lp"]
+
+    def test_misdp_racing_run(self):
+        m = min_k_partitioning(n=5, k=2, seed=3)
+        seq = MISDPSolver(m, approach="sdp", seed=0).solve(node_limit=2000, time_limit=90)
+        cfg = UGConfig(ramp_up="racing", racing_deadline=0.2, time_limit=1e9,
+                       objective_epsilon=1 - 1e-6)
+        res = ug(m, MISDPUserPlugins(), n_solvers=4, comm="sim", config=cfg,
+                 wall_clock_limit=120).run()
+        assert -res.objective == pytest.approx(seq.objective, abs=1e-3)
+
+
+class TestStatistics:
+    def test_table1_quantities_present(self, hc4):
+        res = ug(hc4.copy(), SteinerUserPlugins(), n_solvers=3, comm="sim",
+                 config=UGConfig(**STP_CFG), wall_clock_limit=120).run()
+        st = res.stats
+        assert st.root_time > 0
+        assert st.max_active_solvers >= 1
+        assert st.first_max_active_time >= 0
+        assert 0.0 <= st.idle_ratio <= 1.0
+        assert st.computing_time > 0
+        assert math.isfinite(st.primal_final)

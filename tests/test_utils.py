@@ -1,0 +1,133 @@
+"""Tests for repro.utils: tolerances, statistics, RNG, timing."""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    DEFAULT_TOL,
+    Stopwatch,
+    Tolerances,
+    arithmetic_mean,
+    make_rng,
+    shifted_geometric_mean,
+    spawn_seeds,
+)
+
+
+class TestTolerances:
+    def test_defaults_reasonable(self):
+        assert DEFAULT_TOL.eps < DEFAULT_TOL.feas <= 1e-5
+
+    def test_is_integral(self):
+        assert DEFAULT_TOL.is_integral(3.0)
+        assert DEFAULT_TOL.is_integral(2.9999999)
+        assert not DEFAULT_TOL.is_integral(2.5)
+
+    def test_is_zero(self):
+        assert DEFAULT_TOL.is_zero(1e-12)
+        assert not DEFAULT_TOL.is_zero(1e-3)
+
+    def test_rel_gap_symmetric_zero(self):
+        assert DEFAULT_TOL.rel_gap(5.0, 5.0) == 0.0
+
+    def test_rel_gap_normalised(self):
+        assert DEFAULT_TOL.rel_gap(110.0, 100.0) == pytest.approx(10.0 / 110.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_TOL.eps = 1.0  # type: ignore[misc]
+
+    def test_custom(self):
+        t = Tolerances(integrality=0.1)
+        assert t.is_integral(2.95)
+
+
+class TestShiftedGeomean:
+    def test_matches_paper_definition(self):
+        vals = [1.0, 10.0, 100.0]
+        expected = math.exp(sum(math.log(v + 10) for v in vals) / 3) - 10
+        assert shifted_geometric_mean(vals) == pytest.approx(expected)
+
+    def test_zero_shift_is_geomean(self):
+        assert shifted_geometric_mean([4.0, 9.0], shift=0.0) == pytest.approx(6.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            shifted_geometric_mean([])
+
+    def test_invalid_shift_raises(self):
+        with pytest.raises(ValueError):
+            shifted_geometric_mean([0.5], shift=-1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=30))
+    def test_between_min_and_max(self, vals):
+        g = shifted_geometric_mean(vals)
+        assert min(vals) - 1e-6 <= g <= max(vals) + 1e-6
+
+    @given(st.floats(min_value=0.0, max_value=1e5), st.integers(min_value=1, max_value=10))
+    def test_constant_list_is_identity(self, v, n):
+        assert shifted_geometric_mean([v] * n) == pytest.approx(v, abs=1e-6)
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+
+class TestRng:
+    def test_deterministic(self):
+        assert make_rng(7).integers(0, 100, 5).tolist() == make_rng(7).integers(0, 100, 5).tolist()
+
+    def test_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_spawn_seeds_independent(self):
+        seeds = spawn_seeds(42, 5)
+        assert len(seeds) == 5
+        assert len(set(seeds)) == 5
+        assert seeds == spawn_seeds(42, 5)
+
+    def test_spawn_seeds_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.01)
+        sw.stop()
+        first = sw.elapsed
+        assert first >= 0.009
+        sw.start()
+        time.sleep(0.01)
+        sw.stop()
+        assert sw.elapsed > first
+
+    def test_context_manager(self):
+        with Stopwatch() as sw:
+            time.sleep(0.005)
+        assert sw.elapsed >= 0.004
+        assert not sw.running
+
+    def test_reset(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_double_start_is_noop(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.start()
+        sw.stop()
+        assert not sw.running
