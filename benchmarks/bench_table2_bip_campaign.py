@@ -16,7 +16,7 @@ import math
 
 import pytest
 
-from benchmarks.common import campaign_instance, print_table, run_steiner_ug
+from benchmarks.common import campaign_instance, print_table
 from repro.ug.checkpoint import load_checkpoint
 
 # (solvers, virtual time limit) per run — the ISM -> HLRN III ramp in

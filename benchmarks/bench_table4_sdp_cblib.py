@@ -20,8 +20,6 @@ comparable.
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from benchmarks.common import print_table

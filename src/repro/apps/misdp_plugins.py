@@ -9,8 +9,6 @@ the better relaxation per instance.
 
 from __future__ import annotations
 
-import math
-
 from repro.cip.params import ParamSet, emphasis
 from repro.sdp.model import MISDP
 from repro.sdp.solver import MISDPSolver

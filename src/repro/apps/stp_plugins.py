@@ -5,7 +5,6 @@ from __future__ import annotations
 import math
 
 from repro.cip.params import ParamSet
-from repro.cip.result import SolveStatus
 from repro.steiner.graph import SteinerGraph
 from repro.steiner.reductions import reduce_graph
 from repro.steiner.solver import SteinerSolver

@@ -24,13 +24,12 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.cip.cutpool import CutPool
-from repro.cip.model import Model, VarType
+from repro.cip.model import Model
 from repro.cip.node import Node
 from repro.cip.params import ParamSet
 from repro.cip.plugins import (
     BranchingRule,
     ConstraintHandler,
-    Cut,
     EventHandler,
     Heuristic,
     Plugin,

@@ -21,7 +21,7 @@ engineering trade-offs the UG papers describe.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

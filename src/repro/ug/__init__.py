@@ -15,7 +15,12 @@ implementing the Supervisor–Worker scheme of the paper's Algorithms 1–2:
   LoadCoordinator and every received subproblem is presolved again inside
   its ParaSolver;
 * checkpointing stores only *primitive* nodes (no ancestor in the LC) and
-  restarting re-applies global presolve.
+  restarting re-applies global presolve; checkpoint files are checksummed,
+  fsynced and rotated so a crash mid-write falls back to a ``.bak`` copy;
+* fault tolerance: worker messages double as heartbeats, dead solvers are
+  detected and their subproblems reclaimed (graceful degradation), and a
+  deterministic :class:`~repro.ug.faults.FaultPlan` can replay crash /
+  message-loss / corruption scenarios bit-identically under the SimEngine.
 
 Two interchangeable run-time engines drive the same coordinator/solver
 state machines: :class:`~repro.ug.engines.ThreadEngine` (real Python
@@ -34,6 +39,14 @@ from repro.ug.messages import Message, MessageTag
 from repro.ug.user_plugins import SolverHandle, HandleStep, UserPlugins
 from repro.ug.instantiation import UGSolver, UGResult, ug
 from repro.ug.statistics import UGStatistics
+from repro.ug.faults import (
+    CheckpointFault,
+    FaultInjector,
+    FaultPlan,
+    MessageFault,
+    SendFault,
+    SolverCrash,
+)
 
 __all__ = [
     "ParaNode",
@@ -47,4 +60,10 @@ __all__ = [
     "UGResult",
     "ug",
     "UGStatistics",
+    "FaultPlan",
+    "FaultInjector",
+    "SolverCrash",
+    "MessageFault",
+    "CheckpointFault",
+    "SendFault",
 ]

@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults uses messages only)
+    from repro.ug.faults import FaultPlan
 
 
 @dataclass
@@ -36,6 +40,9 @@ class UGConfig:
     # checkpointing
     checkpoint_path: str | None = None
     checkpoint_interval: float = 5.0
+    # rotating .bak copies kept next to the checkpoint (cp.json.bak1 is the
+    # newest backup); load_checkpoint falls back to them on corruption
+    checkpoint_retain: int = 2
 
     # limits
     time_limit: float = float("inf")
@@ -43,3 +50,18 @@ class UGConfig:
 
     # SimEngine message latency (virtual seconds)
     latency: float = 1e-4
+
+    # fault tolerance -----------------------------------------------------
+    # an *active* solver silent for this long is declared dead, its node
+    # reclaimed and the run continues with the survivors; inf disables
+    # detection (safe default: a long sequential root solve sends no
+    # heartbeats and must not be declared dead)
+    heartbeat_timeout: float = float("inf")
+    # a reclaimed node is retried at most this many times before the run
+    # gives up on it (and stops claiming a proven optimum)
+    max_node_retries: int = 3
+    # bounded retry for transient CommErrors on sends (0 disables the wrapper)
+    send_retries: int = 3
+    send_backoff: float = 0.01  # seconds, doubled per retry (ThreadEngine only)
+    # deterministic failure schedule executed by the engines (tests/chaos runs)
+    fault_plan: FaultPlan | None = None

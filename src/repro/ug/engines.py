@@ -12,6 +12,13 @@ Both engines execute the *same* protocol code:
 * :class:`ThreadEngine` — real Python threads with queues (the
   Pthreads/C++11 analogue): proves the protocol is genuinely concurrent
   and delivers modest real-time speedups where the GIL allows.
+
+Both engines consult a :class:`~repro.ug.faults.FaultInjector` built from
+``config.fault_plan``: a crashed rank becomes a black hole (its messages
+are swallowed, it never speaks again — exactly a lost MPI process),
+injected message faults drop or delay deliveries, and transient send
+failures are absorbed by the bounded retry wrapper.  Under the SimEngine
+the whole failure scenario replays bit-identically.
 """
 
 from __future__ import annotations
@@ -21,10 +28,11 @@ import itertools
 import queue
 import threading
 import time
-from typing import Any
+from typing import Any, Callable
 
 from repro.exceptions import CommError
 from repro.ug.config import UGConfig
+from repro.ug.faults import FaultInjector, make_retrying_send
 from repro.ug.load_coordinator import LoadCoordinator
 from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag
 from repro.ug.para_solver import ParaSolver
@@ -46,6 +54,8 @@ class SimEngine:
         self.config = config
         self.max_events = max_events
         self.wall_clock_limit = wall_clock_limit
+        self.injector = FaultInjector(config.fault_plan)
+        lc.fault_injector = self.injector
         self._events: list[tuple[float, int, str, int, Message | None]] = []
         self._seq = itertools.count()
         self._clock: dict[int, float] = {r: 0.0 for r in solvers}
@@ -60,18 +70,24 @@ class SimEngine:
     def _push(self, t: float, kind: str, rank: int, msg: Message | None = None) -> None:
         heapq.heappush(self._events, (t, next(self._seq), kind, rank, msg))
 
-    def _send_factory(self, src: int, when: lambda: float):  # type: ignore[valid-type]
+    def _send_factory(self, src: int, when: Callable[[], float]):
         def send(dst: int, tag: MessageTag, payload: Any) -> None:
+            self.injector.check_send(src)  # may raise a transient CommError
             msg = Message(tag=tag, src=src, dst=dst, payload=payload)
-            t = when() + self.config.latency
+            action, extra_delay = self.injector.message_action(msg)
+            if action == "drop":
+                return
+            t = when() + self.config.latency + extra_delay
             if dst == LOAD_COORDINATOR_RANK:
                 self._push(t, "lcmsg", dst, msg)
             else:
                 if dst not in self.solvers:
                     raise CommError(f"unknown rank {dst}")
+                if self.injector.is_crashed(dst):
+                    return  # a dead rank is a black hole
                 self._push(t, "smsg", dst, msg)
 
-        return send
+        return make_retrying_send(send, self.config, self.injector, real_time=False)
 
     # -- main loop ------------------------------------------------------------------
 
@@ -79,6 +95,7 @@ class SimEngine:
         lc_send_time = [0.0]
         lc_send = self._send_factory(LOAD_COORDINATOR_RANK, lambda: lc_send_time[0])
         self.lc.start(lc_send, 0.0)
+        self._schedule_heartbeat_tick(0.0)
         start_wall = time.perf_counter()
         events_done = 0
         interrupted = False
@@ -106,8 +123,17 @@ class SimEngine:
                 if not self.lc.finished:
                     self.lc.handle_message(msg, lc_send, t)
                     self.lc.on_tick(lc_send, t)
+            elif kind == "tick":
+                # periodic Supervisor self-tick: lets heartbeat timeouts fire
+                # even when no worker message arrives (e.g. everyone crashed)
+                lc_send_time[0] = t
+                if not self.lc.finished and not interrupted:
+                    self.lc.on_tick(lc_send, t)
+                    self._schedule_heartbeat_tick(t)
             elif kind == "smsg":
                 assert msg is not None
+                if self.injector.is_crashed(rank):
+                    continue
                 self._inbox[rank].append(msg)
                 self._clock[rank] = max(self._clock[rank], t)
                 self._schedule_wake(rank)
@@ -117,14 +143,22 @@ class SimEngine:
         if not self.lc.finished:
             lc_send_time[0] = self.virtual_time
             self.lc.interrupt(lc_send, self.virtual_time)
-        # drain termination messages so solver states are final
+        # drain termination messages so surviving solver states are final
         while self._events:
             t, _, kind, rank, msg = heapq.heappop(self._events)
-            if kind == "smsg" and msg is not None:
+            if kind == "smsg" and msg is not None and not self.injector.is_crashed(rank):
                 solver = self.solvers[rank]
                 solver.handle_message(msg, lambda *a, **k: None)
         self.lc.stats.solver_busy = dict(self._busy)
+        self.injector.export_stats(self.lc.stats)
         self._compute_idle_ratio()
+
+    def _schedule_heartbeat_tick(self, now: float) -> None:
+        timeout = self.config.heartbeat_timeout
+        if timeout == float("inf"):
+            return
+        step = max(timeout / 2.0, 1e-6)
+        self._push(min(now + step, self.config.time_limit + step), "tick", LOAD_COORDINATOR_RANK)
 
     def _schedule_wake(self, rank: int) -> None:
         if rank not in self._wake_scheduled:
@@ -134,6 +168,9 @@ class SimEngine:
     def _run_solver(self, rank: int) -> None:
         solver = self.solvers[rank]
         clock = self._clock[rank]
+        if self.injector.maybe_crash(rank, clock, solver.nodes_processed_total):
+            self._inbox[rank].clear()
+            return
         send = self._send_factory(rank, lambda: self._clock[rank])
         for msg in self._inbox[rank]:
             solver.handle_message(msg, send)
@@ -169,6 +206,8 @@ class ThreadEngine:
         self.lc = lc
         self.solvers = solvers
         self.config = config
+        self.injector = FaultInjector(config.fault_plan)
+        lc.fault_injector = self.injector
         self._queues: dict[int, queue.Queue] = {r: queue.Queue() for r in solvers}
         self._lc_queue: queue.Queue = queue.Queue()
         self._t0 = 0.0
@@ -176,13 +215,20 @@ class ThreadEngine:
 
     def _send(self, src: int):
         def send(dst: int, tag: MessageTag, payload: Any) -> None:
+            self.injector.check_send(src)  # may raise a transient CommError
             msg = Message(tag=tag, src=src, dst=dst, payload=payload)
-            if dst == LOAD_COORDINATOR_RANK:
-                self._lc_queue.put(msg)
+            action, extra_delay = self.injector.message_action(msg)
+            if action == "drop":
+                return
+            target = self._lc_queue if dst == LOAD_COORDINATOR_RANK else self._queues[dst]
+            if action == "delay" and extra_delay > 0:
+                timer = threading.Timer(extra_delay, target.put, args=(msg,))
+                timer.daemon = True
+                timer.start()
             else:
-                self._queues[dst].put(msg)
+                target.put(msg)
 
-        return send
+        return make_retrying_send(send, self.config, self.injector, real_time=True)
 
     def _now(self) -> float:
         return time.perf_counter() - self._t0
@@ -192,29 +238,31 @@ class ThreadEngine:
         q = self._queues[rank]
         send = self._send(rank)
         while solver.state != "terminated":
-            try:
-                msg = q.get(block=not solver.is_busy, timeout=0.2)
-                solver.handle_message(msg, send)
-                continue
-            except queue.Empty:
-                pass
-            # drain any remaining messages without blocking
-            drained = False
-            while True:
-                try:
-                    msg = q.get_nowait()
-                except queue.Empty:
-                    break
-                solver.handle_message(msg, send)
-                drained = True
-                if solver.state == "terminated":
-                    return
+            if self.injector.maybe_crash(rank, self._now(), solver.nodes_processed_total):
+                return  # simulate a killed worker process: vanish silently
             if solver.is_busy:
+                # busy: poll the queue without blocking, then advance the tree
+                while True:
+                    try:
+                        msg = q.get_nowait()
+                    except queue.Empty:
+                        break
+                    solver.handle_message(msg, send)
+                    if solver.state == "terminated":
+                        return
+                if not solver.is_busy:
+                    continue  # a message flipped us idle; block on the queue
                 t0 = time.perf_counter()
                 solver.do_work(send)
                 self._busy[rank] += time.perf_counter() - t0
-            elif not drained:
-                time.sleep(0.001)
+            else:
+                # idle: block with a timeout (no busy-wait) until work or
+                # termination arrives; the timeout keeps crash checks alive
+                try:
+                    msg = q.get(timeout=0.2)
+                except queue.Empty:
+                    continue
+                solver.handle_message(msg, send)
 
     def run(self) -> None:
         self._t0 = time.perf_counter()
@@ -247,6 +295,7 @@ class ThreadEngine:
         if alive:  # pragma: no cover - liveness failure
             raise CommError(f"ParaSolver threads did not terminate: {alive}")
         self.lc.stats.solver_busy = dict(self._busy)
+        self.injector.export_stats(self.lc.stats)
         span = self.lc.stats.computing_time or self._now()
         total = span * max(len(self.solvers), 1)
         busy = sum(min(b, span) for b in self._busy.values())

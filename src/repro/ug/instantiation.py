@@ -75,14 +75,20 @@ class UGSolver:
 
         Restarting re-applies the LoadCoordinator-level presolve (a fresh
         LoadCoordinator is built) and seeds the pool with the checkpoint's
-        primitive nodes — exactly the paper's restart mechanism.
+        primitive nodes — exactly the paper's restart mechanism.  A
+        corrupted or truncated primary checkpoint falls back to the newest
+        valid rotated ``.bak`` copy (counted in
+        ``stats.checkpoints_recovered``), so a crash mid-write never
+        strands a campaign.
         ``initial_incumbent`` seeds a known solution without a checkpoint
         (the paper's Table 3 pattern: rerun from scratch with the best
         solution, usable for presolving, propagation and heuristics).
         """
         initial_pool = None
+        recovered_from_backup = False
         if restart_from is not None:
             cp = load_checkpoint(restart_from)
+            recovered_from_backup = cp.recovered
             initial_pool = cp.nodes
             if cp.incumbent is not None and (
                 initial_incumbent is None or cp.incumbent.value < initial_incumbent.value
@@ -99,6 +105,8 @@ class UGSolver:
             initial_pool=initial_pool,
             initial_incumbent=initial_incumbent,
         )
+        if recovered_from_backup:
+            lc.stats.checkpoints_recovered += 1
         solvers = {
             rank: ParaSolver(
                 rank,
@@ -119,8 +127,10 @@ class UGSolver:
             engine = ThreadEngine(lc, solvers, self.config)
         engine.run()
 
-        solved = lc.incumbent is not None and (
-            lc.stats.solved_in_racing or (lc.pool_size() == 0 and not lc.active)
+        solved = (
+            lc.incumbent is not None
+            and lc.proven_complete
+            and (lc.stats.solved_in_racing or (lc.pool_size() == 0 and not lc.active))
         )
         dual = lc.stats.dual_final if solved else lc.global_dual_bound()
         return UGResult(self.name, lc.incumbent, dual, lc.stats, solved)

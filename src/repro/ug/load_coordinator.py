@@ -1,10 +1,20 @@
 """The LoadCoordinator — Algorithm 1 of the paper, plus racing ramp-up,
-dynamic load balancing, checkpointing and restart.
+dynamic load balancing, checkpointing, restart and failure recovery.
 
 The LoadCoordinator never touches a B&B tree: it keeps a small pool of
 extracted :class:`ParaNode` subproblems, assigns them to idle solvers,
 maintains the global incumbent, toggles collect mode when the pool runs
 low on heavy subproblems, and periodically saves the primitive nodes.
+
+Fault tolerance (the Tables 2-3 restart-series story): every message a
+worker sends doubles as a heartbeat.  An *active* solver silent for
+``config.heartbeat_timeout`` is declared dead; its assigned ParaNode is
+reclaimed into the pool (re-numbered, so stale lineage cannot collide)
+and handed to a survivor.  The run degrades gracefully — it terminates
+correctly even when every solver dies — and a base-solver step failure
+reported by a live ParaSolver is likewise contained by reclaiming the
+node, with a bounded retry count so one poisonous subproblem cannot loop
+forever.
 """
 
 from __future__ import annotations
@@ -12,12 +22,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from typing import Any, Callable
 
 from repro.cip.params import ParamSet
 from repro.ug.checkpoint import save_checkpoint
 from repro.ug.config import UGConfig
-from repro.ug.messages import Message, MessageTag
+from repro.ug.messages import ACCEPTED_FROM_DEAD_TAGS, LOAD_COORDINATOR_RANK, Message, MessageTag
 from repro.ug.para_node import ParaNode
 from repro.ug.para_solution import ParaSolution
 from repro.ug.statistics import UGStatistics
@@ -67,6 +78,15 @@ class LoadCoordinator:
         self._last_checkpoint = 0.0
         self._terminated_racers: set[int] = set()
         self._restart_pool = list(initial_pool or [])
+        # fault tolerance: dead ranks, per-rank last-heard timestamps, and a
+        # flag raised when a subproblem had to be abandoned (so we never
+        # claim a proven optimum over an incompletely explored tree)
+        self.dead: set[int] = set()
+        self._last_heartbeat: dict[int, float] = {}
+        self._lost_subtrees = False
+        # set by the engine so injected checkpoint corruption replays
+        # deterministically; None outside fault-injection runs
+        self.fault_injector: Any = None
         if self.incumbent is not None:
             self.stats.primal_initial = self.incumbent.value
         if self._restart_pool:
@@ -92,6 +112,7 @@ class LoadCoordinator:
                 node = ParaNode(payload=dict(root.payload), dual_bound=root.dual_bound)
                 node.lc_id = next(self._lc_ids)
                 self.active[rank] = node
+                self._last_heartbeat[rank] = now
                 send(
                     rank,
                     MessageTag.RACING_START,
@@ -130,6 +151,7 @@ class LoadCoordinator:
             rank = min(self.idle)
             self.idle.discard(rank)
             self.active[rank] = node
+            self._last_heartbeat[rank] = now
             send(
                 rank,
                 MessageTag.SUBPROBLEM,
@@ -186,6 +208,16 @@ class LoadCoordinator:
     def handle_message(self, msg: Message, send: SendFn, now: float) -> None:
         tag = msg.tag
         payload = msg.payload or {}
+        if msg.src != LOAD_COORDINATOR_RANK:
+            if msg.src in self.dead:
+                # a rank declared dead may still have messages in flight (or
+                # be a false positive that kept computing): a late solution
+                # is welcome, stale bookkeeping is not
+                if tag not in ACCEPTED_FROM_DEAD_TAGS:
+                    return
+            else:
+                # every worker message doubles as a heartbeat
+                self._last_heartbeat[msg.src] = now
         if tag is MessageTag.SOLUTION_FOUND:
             self._on_solution(payload["solution"], send)
         elif tag is MessageTag.NODE_TRANSFER:
@@ -210,6 +242,29 @@ class LoadCoordinator:
                 self._update_collecting(send)
         elif tag is MessageTag.TERMINATED:
             rank = payload["rank"]
+            if payload.get("failed"):
+                # the ParaSolver contained a base-solver error: the solver
+                # itself survives, but its subproblem must be re-explored
+                self.stats.step_failures += 1
+                if "nodes_processed" in payload:
+                    self._nodes_processed[rank] = payload["nodes_processed"]
+                self.collecting.discard(rank)
+                self._last_status.pop(rank, None)
+                self._solver_dual.pop(rank, None)
+                if self._racing:
+                    # a failed racer drops out like a loser; its root copy is
+                    # still covered by the surviving racers
+                    self.active.pop(rank, None)
+                    self._terminated_racers.add(rank)
+                    self.idle.add(rank)
+                    if not [r for r in self.active if r not in self._terminated_racers]:
+                        self._racing = False
+                        self._broadcast_termination(send, now)
+                    return
+                self._reclaim_active_node(rank)
+                self.idle.add(rank)
+                self._assign(send, now)
+                return
             if payload.get("racing_loser"):
                 self._terminated_racers.add(rank)
                 self.idle.add(rank)
@@ -283,10 +338,83 @@ class LoadCoordinator:
         self.active = {winner: winner_node}
         self._record_active(now)
 
+    # -- failure detection and recovery ------------------------------------------
+
+    def live_solvers(self) -> set[int]:
+        """Ranks not declared dead."""
+        return set(range(1, self.n_solvers + 1)) - self.dead
+
+    def _reclaim_active_node(self, rank: int) -> None:
+        """Pull ``rank``'s assigned node back into the pool (re-numbered)."""
+        node = self.active.pop(rank, None)
+        if node is None:
+            return
+        node.attempts += 1
+        if node.attempts > self.config.max_node_retries:
+            # a poisonous subproblem: stop retrying, surrender completeness
+            self._lost_subtrees = True
+            return
+        if (
+            self.incumbent is not None
+            and node.dual_bound >= self.incumbent.value - self.config.objective_epsilon
+        ):
+            return  # already pruned by bound — nothing was lost
+        self._push_pool(node, renumber=True)
+        self.stats.nodes_reclaimed += 1
+
+    def _mark_dead(self, rank: int, send: SendFn, now: float) -> None:
+        """Declare ``rank`` lost, reclaim its work, keep the run going."""
+        if rank in self.dead:
+            return
+        self.dead.add(rank)
+        self.stats.solver_failures += 1
+        was_racing = self._racing
+        if was_racing:
+            # racing roots are copies of the same subproblem — the surviving
+            # racers still cover the whole tree, so nothing is reclaimed
+            self.active.pop(rank, None)
+        else:
+            self._reclaim_active_node(rank)
+        self.idle.discard(rank)
+        self.collecting.discard(rank)
+        self._last_status.pop(rank, None)
+        self._solver_dual.pop(rank, None)
+        self._last_heartbeat.pop(rank, None)
+        self._terminated_racers.discard(rank)
+        if not self.live_solvers():
+            # every solver is gone — nobody left to feed; stop gracefully
+            self._broadcast_termination(send, now)
+            return
+        if was_racing:
+            # a dead racer leaves the contest; the race goes on among the
+            # survivors (and ends immediately if none remain racing)
+            contenders = [r for r in self.active if r not in self._terminated_racers]
+            if not contenders:
+                self._racing = False
+                self._broadcast_termination(send, now)
+            return
+        self._assign(send, now)
+
+    def _check_heartbeats(self, send: SendFn, now: float) -> None:
+        timeout = self.config.heartbeat_timeout
+        if math.isinf(timeout) or self.finished:
+            return
+        for rank in sorted(self.active):
+            if rank in self.dead:
+                continue
+            last = self._last_heartbeat.get(rank, now)
+            if now - last > timeout:
+                self._mark_dead(rank, send, now)
+                if self.finished:
+                    return
+
     # -- ticks: deadline, checkpoints, limits ------------------------------------
 
     def on_tick(self, send: SendFn, now: float) -> None:
         """Called by the engine after every event."""
+        if self.finished:
+            return
+        self._check_heartbeats(send, now)
         if self.finished:
             return
         if self._racing and now >= self.config.racing_deadline:
@@ -295,14 +423,14 @@ class LoadCoordinator:
             self.config.checkpoint_path is not None
             and now - self._last_checkpoint >= self.config.checkpoint_interval
         ):
-            self.write_checkpoint(self.config.checkpoint_path)
+            self.write_checkpoint(self.config.checkpoint_path, now)
             self._last_checkpoint = now
 
     def interrupt(self, send: SendFn, now: float) -> None:
         """Stop the run (time/node limit): terminate everyone, keep state."""
         if not self.finished:
             if self.config.checkpoint_path is not None:
-                self.write_checkpoint(self.config.checkpoint_path)
+                self.write_checkpoint(self.config.checkpoint_path, now)
             self._broadcast_termination(send, now)
 
     def _broadcast_termination(self, send: SendFn, now: float) -> None:
@@ -321,13 +449,20 @@ class LoadCoordinator:
         if self.incumbent is not None:
             s.primal_final = self.incumbent.value
         s.dual_final = self.global_dual_bound()
-        proven = (not self.active and not self._pool) or s.solved_in_racing
+        proven = (
+            (not self.active and not self._pool) or s.solved_in_racing
+        ) and not self._lost_subtrees
         if proven and self.incumbent is not None and not math.isinf(s.primal_final):
             s.dual_final = s.primal_final  # proven optimal
         s.open_nodes_final = len(self._pool) + sum(
             int(self._last_status.get(r, {}).get("n_open", 0)) for r in self.active
         )
         s.nodes_generated = sum(self._nodes_processed.values())
+
+    @property
+    def proven_complete(self) -> bool:
+        """False when a subproblem had to be abandoned (no optimality claim)."""
+        return not self._lost_subtrees
 
     def global_dual_bound(self) -> float:
         bounds = [n.dual_bound for _, _, n in self._pool]
@@ -353,6 +488,23 @@ class LoadCoordinator:
                 saved.append(node)
         return saved
 
-    def write_checkpoint(self, path: str) -> None:
-        save_checkpoint(path, self.primitive_nodes(), self.incumbent, self.stats)
+    def write_checkpoint(self, path: str, now: float | None = None) -> None:
+        meta = {
+            # virtual seconds (Sim) / engine-relative wall seconds (Thread)
+            "checkpoint_time": now if now is not None else 0.0,
+            "wall_time": time.time(),
+            "incumbent_value": self._incumbent_value(),
+            "dual_bound": self.global_dual_bound(),
+            "solvers_alive": len(self.live_solvers()),
+        }
+        save_checkpoint(
+            path,
+            self.primitive_nodes(),
+            self.incumbent,
+            self.stats,
+            meta=meta,
+            retain=self.config.checkpoint_retain,
+        )
         self.stats.checkpoints_written += 1
+        if self.fault_injector is not None:
+            self.fault_injector.after_checkpoint_write(path)

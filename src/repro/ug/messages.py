@@ -27,6 +27,20 @@ class MessageTag(enum.Enum):
     NODE_TRANSFER = "nodeTransfer"
 
 
+#: every Worker -> Supervisor message doubles as a liveness heartbeat: the
+#: LoadCoordinator timestamps the sender on receipt, so no dedicated
+#: heartbeat message (and no extra traffic) is needed — STATUS cadence
+#: bounds the detection latency.
+HEARTBEAT_TAGS = frozenset(
+    {MessageTag.SOLUTION_FOUND, MessageTag.STATUS, MessageTag.TERMINATED, MessageTag.NODE_TRANSFER}
+)
+
+#: tags still honoured from a rank already declared dead — a solution is a
+#: solution no matter how late it arrives; everything else from a dead
+#: rank is stale bookkeeping and is dropped to keep state consistent.
+ACCEPTED_FROM_DEAD_TAGS = frozenset({MessageTag.SOLUTION_FOUND})
+
+
 @dataclass(order=True)
 class Message:
     """One protocol message; ordering key is (send seq) for determinism."""

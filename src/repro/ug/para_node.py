@@ -23,6 +23,7 @@ class ParaNode:
     depth: int = 0
     lc_id: int = -1  # assigned by the LoadCoordinator on receipt
     lineage: tuple[int, ...] = field(default_factory=tuple)
+    attempts: int = 0  # times this node was assigned and reclaimed after a failure
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -31,6 +32,7 @@ class ParaNode:
             "depth": self.depth,
             "lc_id": self.lc_id,
             "lineage": list(self.lineage),
+            "attempts": self.attempts,
         }
 
     @staticmethod
@@ -41,4 +43,5 @@ class ParaNode:
             depth=int(obj["depth"]),
             lc_id=int(obj["lc_id"]),
             lineage=tuple(int(x) for x in obj.get("lineage", ())),
+            attempts=int(obj.get("attempts", 0)),
         )

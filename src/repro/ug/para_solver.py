@@ -17,6 +17,7 @@ import math
 from typing import Any, Callable
 
 from repro.cip.params import ParamSet
+from repro.exceptions import ReproError
 from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag
 from repro.ug.para_node import ParaNode
 from repro.ug.para_solution import ParaSolution
@@ -120,10 +121,29 @@ class ParaSolver:
     # -- work --------------------------------------------------------------------
 
     def do_work(self, send: SendFn) -> float | None:
-        """Advance the base solver by one node; returns work spent or None."""
+        """Advance the base solver by one node; returns work spent or None.
+
+        A library-level failure inside the base solver (``ReproError``) is
+        contained: the subproblem is surrendered back to the Supervisor
+        with ``failed=True`` (which reclaims and retries it elsewhere) and
+        this ParaSolver returns to the idle pool instead of taking the
+        whole rank down.  Programming errors still propagate.
+        """
         if self.state not in ("working", "racing") or self.handle is None:
             return None
-        step = self.handle.step()
+        try:
+            step = self.handle.step()
+        except ReproError:
+            send(
+                LOAD_COORDINATOR_RANK,
+                MessageTag.TERMINATED,
+                {"rank": self.rank, "failed": True, "nodes_processed": self.nodes_processed_total},
+            )
+            self.state = "idle"
+            self.handle = None
+            self.current_node = None
+            self.collect_mode = False
+            return _MIN_STEP_WORK
         work = max(step.work, _MIN_STEP_WORK)
         self.busy_work += work
         self.nodes_processed_total += step.nodes_processed

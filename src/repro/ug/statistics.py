@@ -33,6 +33,21 @@ class UGStatistics:
     checkpoints_written: int = 0
     solver_busy: dict[int, float] = field(default_factory=dict)
 
+    # fault tolerance (the restart-series campaigns of Tables 2-3)
+    solver_failures: int = 0  # ranks declared dead by heartbeat timeout
+    step_failures: int = 0  # base-solver step errors contained by a ParaSolver
+    nodes_reclaimed: int = 0  # active ParaNodes recovered from failed solvers
+    checkpoints_recovered: int = 0  # restarts served from a .bak fallback
+    messages_dropped: int = 0  # injected message losses observed
+    messages_delayed: int = 0  # injected message delays observed
+    send_retries: int = 0  # transient CommErrors absorbed by the retry wrapper
+    faults_injected: int = 0  # total FaultPlan events that fired
+
+    @property
+    def surviving_solvers(self) -> int:
+        """Solvers still alive at the end of the run (graceful degradation)."""
+        return max(self.n_solvers - self.solver_failures, 0)
+
     @property
     def gap_initial(self) -> float:
         return _gap(self.primal_initial, self.dual_initial)

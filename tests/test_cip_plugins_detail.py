@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.cip.heuristics import DivingHeuristic, RoundingHeuristic
-from repro.cip.mip import make_mip_solver
 from repro.cip.model import Model, VarType
 from repro.cip.params import ParamSet
 from repro.cip.plugins import PropagationStatus

@@ -9,7 +9,7 @@ import pytest
 
 from repro.cip.params import ParamSet
 from repro.sdp.admm import solve_sdp_relaxation
-from repro.sdp.eigcuts import EigenvectorCutHandler, initial_diagonal_cuts
+from repro.sdp.eigcuts import initial_diagonal_cuts
 from repro.sdp.instances import (
     cardinality_least_squares,
     cblib_collection,

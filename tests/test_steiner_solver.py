@@ -7,7 +7,6 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cip.params import ParamSet
 from repro.cip.result import SolveStatus
 from repro.steiner.instances import (
     bipartite_instance,

@@ -10,7 +10,7 @@ from repro.cip.params import ParamSet
 from repro.ug.checkpoint import load_checkpoint, save_checkpoint
 from repro.ug.config import UGConfig
 from repro.ug.load_coordinator import LoadCoordinator
-from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag
+from repro.ug.messages import Message, MessageTag
 from repro.ug.para_node import ParaNode
 from repro.ug.para_solution import ParaSolution
 from repro.ug.user_plugins import UserPlugins

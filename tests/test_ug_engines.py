@@ -2,16 +2,12 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.cip.params import ParamSet
 from repro.ug.config import UGConfig
 from repro.ug.engines import SimEngine, ThreadEngine
 from repro.ug.load_coordinator import LoadCoordinator
-from repro.ug.messages import MessageTag
-from repro.ug.para_node import ParaNode
 from repro.ug.para_solution import ParaSolution
 from repro.ug.para_solver import ParaSolver
 from repro.ug.user_plugins import HandleStep, SolverHandle, UserPlugins
@@ -102,6 +98,16 @@ class TestSimEngine:
         assert lc.stats.idle_ratio > 0.5  # three solvers idle throughout
 
 
+    def test_node_limit_interrupt_writes_checkpoint(self, tmp_path):
+        path = str(tmp_path / "cp.json")
+        engine, lc = build(SimEngine, n_solvers=1, node_limit=3, checkpoint_path=path,
+                           checkpoint_interval=1e9,  # only the interrupt write
+                           plugins=CountdownPlugins(n=1000, work=0.01))
+        engine.run()
+        assert lc.finished
+        assert lc.stats.checkpoints_written >= 1
+
+
 class TestThreadEngine:
     def test_runs_and_terminates(self):
         engine, lc = build(ThreadEngine, n_solvers=2, time_limit=30.0)
@@ -114,3 +120,20 @@ class TestThreadEngine:
                            plugins=CountdownPlugins(n=10**9, work=0.0))
         engine.run()
         assert lc.finished
+
+    def test_node_limit_interrupts(self):
+        engine, lc = build(ThreadEngine, n_solvers=2, time_limit=30.0, node_limit=5,
+                           plugins=CountdownPlugins(n=10**9, work=0.0))
+        engine.run()
+        assert lc.finished
+        assert lc.stats.nodes_generated >= 1
+
+    def test_idle_solver_blocks_without_busy_wait(self):
+        # an idle solver must sit in a blocking queue get (timeout path), not
+        # spin: with one worker and a tiny job the run ends promptly and the
+        # second solver records (almost) no busy time
+        engine, lc = build(ThreadEngine, n_solvers=2, time_limit=30.0,
+                           plugins=CountdownPlugins(n=3, work=0.0))
+        engine.run()
+        assert lc.finished
+        assert lc.stats.solver_busy[2] == pytest.approx(0.0, abs=0.05)

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.cip.params import ParamSet
-from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag
+from repro.ug.messages import Message, MessageTag
 from repro.ug.para_node import ParaNode
 from repro.ug.para_solution import ParaSolution
 from repro.ug.para_solver import ParaSolver
