@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -135,6 +136,9 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan | None = None) -> None:
         self.plan = plan or FaultPlan()
+        # one injector is shared by every ThreadEngine solver thread; the
+        # budget/attempt read-modify-writes below must not interleave
+        self._lock = threading.Lock()
         self.crashed: set[int] = set()
         self._message_budget = [f.count for f in self.plan.message_faults]
         self._send_attempts: dict[int, int] = {}
@@ -158,49 +162,60 @@ class FaultInjector:
 
     def maybe_crash(self, rank: int, now: float, nodes: int) -> bool:
         """True once ``rank`` is (or just became) dead; engines black-hole it."""
-        if rank in self.crashed:
-            return True
-        for crash in self.plan.crashes:
-            if crash.rank == rank and crash.triggered(now, nodes):
-                self.crashed.add(rank)
-                self.crashes_triggered += 1
+        with self._lock:
+            if rank in self.crashed:
                 return True
-        return False
+            for crash in self.plan.crashes:
+                if crash.rank == rank and crash.triggered(now, nodes):
+                    self.crashed.add(rank)
+                    self.crashes_triggered += 1
+                    return True
+            return False
 
     # -- message faults -------------------------------------------------------
 
     def message_action(self, msg: Message) -> tuple[str, float]:
         """Returns ("deliver"|"drop"|"delay", extra_delay) for this message."""
-        for i, fault in enumerate(self.plan.message_faults):
-            if self._message_budget[i] > 0 and fault.matches(msg):
-                self._message_budget[i] -= 1
-                if fault.action == "drop":
-                    self.messages_dropped += 1
-                    return "drop", 0.0
-                self.messages_delayed += 1
-                return "delay", fault.delay
-        return "deliver", 0.0
+        with self._lock:
+            for i, fault in enumerate(self.plan.message_faults):
+                if self._message_budget[i] > 0 and fault.matches(msg):
+                    self._message_budget[i] -= 1
+                    if fault.action == "drop":
+                        self.messages_dropped += 1
+                        return "drop", 0.0
+                    self.messages_delayed += 1
+                    return "delay", fault.delay
+            return "deliver", 0.0
 
     # -- transient send failures ----------------------------------------------
 
     def check_send(self, src: int) -> None:
         """Raise a transient CommError when the plan says this send fails."""
-        attempt = self._send_attempts.get(src, 0) + 1
-        self._send_attempts[src] = attempt
-        for fault in self.plan.send_faults:
-            if fault.src == src and fault.nth_send <= attempt < fault.nth_send + fault.count:
-                self.send_failures_injected += 1
-                raise CommError(f"injected transient send failure at rank {src} (send #{attempt})")
+        with self._lock:
+            attempt = self._send_attempts.get(src, 0) + 1
+            self._send_attempts[src] = attempt
+            for fault in self.plan.send_faults:
+                if fault.src == src and fault.nth_send <= attempt < fault.nth_send + fault.count:
+                    self.send_failures_injected += 1
+                    raise CommError(
+                        f"injected transient send failure at rank {src} (send #{attempt})"
+                    )
+
+    def note_retry(self) -> None:
+        """Record one retried send (called by :class:`RetryingSend`)."""
+        with self._lock:
+            self.send_retries += 1
 
     # -- checkpoint corruption ------------------------------------------------
 
     def after_checkpoint_write(self, path: str | os.PathLike) -> None:
         """Called by the LoadCoordinator after every checkpoint write."""
-        self._checkpoint_writes += 1
-        for fault in self.plan.checkpoint_faults:
-            if fault.nth_write == self._checkpoint_writes:
-                _damage_file(path, fault.mode)
-                self.checkpoints_corrupted += 1
+        with self._lock:
+            self._checkpoint_writes += 1
+            for fault in self.plan.checkpoint_faults:
+                if fault.nth_write == self._checkpoint_writes:
+                    _damage_file(path, fault.mode)
+                    self.checkpoints_corrupted += 1
 
     # -- statistics -----------------------------------------------------------
 
@@ -263,7 +278,7 @@ class RetryingSend:
                     raise
                 self.total_retries += 1
                 if self.injector is not None:
-                    self.injector.send_retries += 1
+                    self.injector.note_retry()
                 if self.sleep is not None and self.backoff > 0:
                     self.sleep(self.backoff * (2 ** (attempt - 1)))
 

@@ -80,10 +80,14 @@ class LoadCoordinator:
         self._restart_pool = list(initial_pool or [])
         # fault tolerance: dead ranks, per-rank last-heard timestamps, and a
         # flag raised when a subproblem had to be abandoned (so we never
-        # claim a proven optimum over an incompletely explored tree)
+        # claim a proven optimum over an incompletely explored tree); the
+        # abandoned subtrees' best dual bound caps the global bound, since
+        # the lost region may hide solutions down to that value
         self.dead: set[int] = set()
         self._last_heartbeat: dict[int, float] = {}
         self._lost_subtrees = False
+        self._lost_dual = math.inf
+        self._racing_root_dual = -math.inf
         # set by the engine so injected checkpoint corruption replays
         # deterministically; None outside fault-injection runs
         self.fault_injector: Any = None
@@ -105,6 +109,7 @@ class LoadCoordinator:
         root = self.user_plugins.root_para_node(self.instance)
         if self.config.ramp_up == "racing" and self.n_solvers >= 2:
             self._racing = True
+            self._racing_root_dual = root.dual_bound
             self._racing_settings = self.user_plugins.racing_param_sets(self.n_solvers, self.params)
             for rank in sorted(self.idle):
                 settings = self._racing_settings[(rank - 1) % len(self._racing_settings)]
@@ -259,6 +264,7 @@ class LoadCoordinator:
                     self.idle.add(rank)
                     if not [r for r in self.active if r not in self._terminated_racers]:
                         self._racing = False
+                        self._forfeit_racing_root()
                         self._broadcast_termination(send, now)
                     return
                 self._reclaim_active_node(rank)
@@ -344,21 +350,34 @@ class LoadCoordinator:
         """Ranks not declared dead."""
         return set(range(1, self.n_solvers + 1)) - self.dead
 
+    def _forfeit_racing_root(self) -> None:
+        """No contender will ever finish exploring the racing root.
+
+        Unless a racer already solved the whole instance, completeness is
+        gone: the root subproblem was never fully explored by any survivor,
+        so the optimality claim and the global dual bound are surrendered.
+        """
+        if self.stats.solved_in_racing:
+            return
+        self._lost_subtrees = True
+        self._lost_dual = min(self._lost_dual, self._racing_root_dual)
+
     def _reclaim_active_node(self, rank: int) -> None:
         """Pull ``rank``'s assigned node back into the pool (re-numbered)."""
         node = self.active.pop(rank, None)
         if node is None:
-            return
-        node.attempts += 1
-        if node.attempts > self.config.max_node_retries:
-            # a poisonous subproblem: stop retrying, surrender completeness
-            self._lost_subtrees = True
             return
         if (
             self.incumbent is not None
             and node.dual_bound >= self.incumbent.value - self.config.objective_epsilon
         ):
             return  # already pruned by bound — nothing was lost
+        node.attempts += 1
+        if node.attempts > self.config.max_node_retries:
+            # a poisonous subproblem: stop retrying, surrender completeness
+            self._lost_subtrees = True
+            self._lost_dual = min(self._lost_dual, node.dual_bound)
+            return
         self._push_pool(node, renumber=True)
         self.stats.nodes_reclaimed += 1
 
@@ -383,6 +402,8 @@ class LoadCoordinator:
         self._terminated_racers.discard(rank)
         if not self.live_solvers():
             # every solver is gone — nobody left to feed; stop gracefully
+            if was_racing:
+                self._forfeit_racing_root()
             self._broadcast_termination(send, now)
             return
         if was_racing:
@@ -391,6 +412,7 @@ class LoadCoordinator:
             contenders = [r for r in self.active if r not in self._terminated_racers]
             if not contenders:
                 self._racing = False
+                self._forfeit_racing_root()
                 self._broadcast_termination(send, now)
             return
         self._assign(send, now)
@@ -399,9 +421,10 @@ class LoadCoordinator:
         timeout = self.config.heartbeat_timeout
         if math.isinf(timeout) or self.finished:
             return
-        for rank in sorted(self.active):
-            if rank in self.dead:
-                continue
+        # watch every live rank expected to speak again: active workers,
+        # and ranks winding down (e.g. a racing loser that has yet to
+        # confirm TERMINATED).  Idle ranks are silent by design.
+        for rank in sorted(self.live_solvers() - self.idle):
             last = self._last_heartbeat.get(rank, now)
             if now - last > timeout:
                 self._mark_dead(rank, send, now)
@@ -468,6 +491,9 @@ class LoadCoordinator:
         bounds = [n.dual_bound for _, _, n in self._pool]
         for rank, node in self.active.items():
             bounds.append(self._solver_dual.get(rank, node.dual_bound))
+        if self._lost_dual < math.inf:
+            # an abandoned subtree may hide solutions down to its bound
+            bounds.append(self._lost_dual)
         if not bounds:
             return self.incumbent.value if self.incumbent is not None else -math.inf
         return min(bounds)

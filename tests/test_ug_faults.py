@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 
 import pytest
 
@@ -172,6 +173,28 @@ class TestFaultPlan:
         inj.check_send(1)  # attempt 4 fine
         inj.check_send(2)  # other ranks unaffected
         assert inj.send_failures_injected == 2
+
+    def test_injector_budgets_thread_safe(self):
+        # one injector is shared by every ThreadEngine solver thread; its
+        # budget/attempt read-modify-writes must not interleave
+        plan = FaultPlan(message_faults=(MessageFault(tag=MessageTag.STATUS, count=100),))
+        inj = FaultInjector(plan)
+        msg = Message(tag=MessageTag.STATUS, src=1, dst=0, payload={})
+        outcomes: list[str] = []
+
+        def hammer():
+            for _ in range(100):
+                outcomes.append(inj.message_action(msg)[0])
+                inj.check_send(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count("drop") == 100
+        assert inj.messages_dropped == 100
+        assert inj._send_attempts[1] == 800
 
 
 class TestRetryingSend:
@@ -390,6 +413,70 @@ class TestHeartbeatDetection:
         lc.on_tick(send, 1.0)
         assert lc.finished
         assert lc.stats.solver_failures == 2
+        assert not lc.proven_complete  # nobody ever explored the root
+
+    def test_all_racers_dead_with_incumbent_forfeits_optimality(self):
+        # regression: both racers crash right after a solution arrives —
+        # the unexplored tree must not come back as a proven optimum
+        lc = make_lc(2, ramp_up="racing", heartbeat_timeout=0.5)
+        sent, send = collect_sends()
+        lc.start(send, 0.0)
+        lc.handle_message(
+            Message(tag=MessageTag.SOLUTION_FOUND, src=1, dst=0,
+                    payload={"solution": ParaSolution(42.0), "rank": 1}),
+            send, 0.1,
+        )
+        lc.on_tick(send, 1.0)  # both racers silent past the timeout
+        assert lc.finished
+        assert not lc.proven_complete
+        assert lc.stats.primal_final == 42.0
+        assert lc.stats.dual_final == -math.inf  # the root's bound, not 42.0
+
+    def test_last_contender_dies_while_failed_racers_survive(self):
+        # rank 1 drops out with a contained step failure (solver stays
+        # alive), then rank 2 — the last contender — dies: nobody finished
+        # exploring the racing root, so no optimality claim
+        lc = make_lc(2, ramp_up="racing", heartbeat_timeout=0.5)
+        sent, send = collect_sends()
+        lc.start(send, 0.0)
+        lc.handle_message(
+            Message(tag=MessageTag.SOLUTION_FOUND, src=2, dst=0,
+                    payload={"solution": ParaSolution(42.0), "rank": 2}),
+            send, 0.1,
+        )
+        lc.handle_message(
+            Message(tag=MessageTag.TERMINATED, src=1, dst=0,
+                    payload={"rank": 1, "failed": True}),
+            send, 0.2,
+        )
+        assert not lc.finished
+        lc.on_tick(send, 1.0)  # rank 2 silent since t=0.1
+        assert lc.finished
+        assert lc.dead == {2}
+        assert not lc.proven_complete
+        assert lc.stats.dual_final == -math.inf
+
+    def test_all_racers_failed_forfeits_optimality(self):
+        # every racer reports a contained base-solver failure: the run ends
+        # gracefully but the racing root was never explored
+        lc = make_lc(2, ramp_up="racing")
+        sent, send = collect_sends()
+        lc.start(send, 0.0)
+        lc.handle_message(
+            Message(tag=MessageTag.SOLUTION_FOUND, src=1, dst=0,
+                    payload={"solution": ParaSolution(42.0), "rank": 1}),
+            send, 0.1,
+        )
+        for rank in (1, 2):
+            lc.handle_message(
+                Message(tag=MessageTag.TERMINATED, src=rank, dst=0,
+                        payload={"rank": rank, "failed": True}),
+                send, 0.2,
+            )
+        assert lc.finished
+        assert not lc.proven_complete
+        assert lc.stats.primal_final == 42.0
+        assert lc.stats.dual_final == -math.inf
 
 
 class TestStepFailureContainment:
@@ -430,6 +517,16 @@ class TestStepFailureContainment:
         assert lc.finished
         assert lc.stats.step_failures == 3  # initial try + 2 retries
         assert not lc.proven_complete  # the subtree was abandoned
+
+    def test_prunable_node_reclaim_keeps_completeness(self):
+        # a node already prunable by bound that exhausts its retry budget
+        # must not forfeit the optimality claim — nothing explorable was lost
+        lc = make_lc(1, max_node_retries=0)
+        lc.incumbent = ParaSolution(10.0)
+        lc.active[1] = ParaNode({}, dual_bound=10.0)
+        lc._reclaim_active_node(1)
+        assert lc.proven_complete
+        assert lc.stats.nodes_reclaimed == 0
 
 
 # -- engine-level fault injection ---------------------------------------------
@@ -477,6 +574,37 @@ class TestSimEngineFaults:
         assert lc.incumbent is not None and lc.incumbent.value == 5.0
         assert lc.stats.send_retries >= 2
         assert lc.stats.faults_injected >= 2
+
+    def test_both_racers_crash_during_racing_no_optimality_claim(self):
+        # both racers crash before the (distant) racing deadline: the run
+        # ends without anyone exploring the root, so nothing is proven
+        plan = FaultPlan(crashes=(SolverCrash(rank=1, at_time=0.05),
+                                  SolverCrash(rank=2, at_time=0.05)))
+        engine, lc = build(SimEngine, n_solvers=2, plugins=CountdownPlugins(n=50),
+                           ramp_up="racing", racing_deadline=1e9,
+                           heartbeat_timeout=0.3, fault_plan=plan)
+        engine.run()
+        assert lc.finished
+        assert lc.stats.solver_failures == 2
+        assert not lc.proven_complete
+        assert lc.stats.dual_final == -math.inf
+
+    def test_deadline_crowns_dead_winner_and_orphans_dead_loser(self):
+        # the racing deadline may pick an already-crashed winner and orphan
+        # a crashed loser; heartbeat monitoring must cover the loser too or
+        # the engine spins forever waiting for its TERMINATED
+        plan = FaultPlan(crashes=(SolverCrash(rank=1, at_time=0.05),
+                                  SolverCrash(rank=2, at_time=0.05)))
+        engine, lc = build(SimEngine, n_solvers=2, plugins=CountdownPlugins(n=50),
+                           ramp_up="racing", racing_deadline=0.1,
+                           heartbeat_timeout=0.3, fault_plan=plan)
+        engine.run()
+        assert lc.finished
+        assert lc.stats.solver_failures == 2
+        assert not lc.live_solvers()
+        # the winner's node was reclaimed but nobody was left to solve it
+        assert lc.pool_size() == 1
+        assert lc.stats.nodes_reclaimed == 1
 
     def test_dropped_status_does_not_stall_run(self):
         plan = FaultPlan(message_faults=(MessageFault(tag=MessageTag.STATUS, count=3),))
