@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import campaign_instance, print_table, table1_instances
+from benchmarks.common import campaign_instance, emit_bench_json, print_table, table1_instances
 from repro.apps.stp_plugins import SteinerUserPlugins
 from repro.cip.params import ParamSet
 from repro.steiner.reductions import reduce_graph
@@ -76,6 +76,18 @@ def test_ablation_extended_reductions(benchmark):
             ["on", on.objective, on.stats.computing_time, on.stats.nodes_generated],
             ["off", off.objective, off.stats.computing_time, off.stats.nodes_generated],
         ],
+    )
+    emit_bench_json(
+        "ablation_extended_reductions",
+        {
+            "reduction_power": power,
+            "end_to_end": {
+                "on": {"objective": on.objective, "time": on.stats.computing_time,
+                       "nodes": on.stats.nodes_generated},
+                "off": {"objective": off.objective, "time": off.stats.computing_time,
+                        "nodes": off.stats.nodes_generated},
+            },
+        },
     )
     # extended tests never reduce less than the plain pipeline
     assert power["edges_extended"] <= power["edges_plain"]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import print_table, table1_instances
+from benchmarks.common import emit_bench_json, print_table, table1_instances
 from repro.apps.stp_plugins import SteinerUserPlugins
 from repro.cip.params import ParamSet
 from repro.ug import ug
@@ -56,6 +56,7 @@ def test_ablation_layered_presolve(benchmark):
         ["instance", "nodes layered", "nodes off", "time layered", "time off"],
         [[r["name"], r["nodes_on"], r["nodes_off"], r["time_on"], r["time_off"]] for r in rows],
     )
+    emit_bench_json("ablation_layered_presolve", {"rows": rows})
     for r in rows:
         assert r["obj_on"] == pytest.approx(r["obj_off"])  # both must be optimal
     # Node counts may move either way: re-presolving subproblems shrinks

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import print_table, run_steiner_ug, table1_instances
+from benchmarks.common import emit_bench_json, print_table, run_steiner_ug, table1_instances
 from repro.apps.misdp_plugins import MISDPUserPlugins
 from repro.sdp.instances import min_k_partitioning
 from repro.ug import ug
@@ -61,6 +61,7 @@ def test_ablation_rampup(benchmark):
         ["case", "objective", "time", "nodes", "winner"],
         [[r["case"], r["objective"], r["time"], r["nodes"], r["winner"] if r["winner"] else "-"] for r in rows],
     )
+    emit_bench_json("ablation_rampup", {"rows": rows})
     # both ramp-ups find the same optimum per problem
     assert rows[0]["objective"] == pytest.approx(rows[1]["objective"])
     assert rows[2]["objective"] == pytest.approx(rows[3]["objective"], abs=1e-3)

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import print_table
+from benchmarks.common import emit_bench_json
 from repro.apps.misdp_plugins import MISDPUserPlugins
+from repro.obs.reporters import winner_histogram_report
 from repro.cip.params import ParamSet
 from repro.sdp.instances import (
     cardinality_least_squares,
@@ -68,19 +69,15 @@ def _run_figure1() -> dict:
 def test_figure1_racing_winners(benchmark):
     out = benchmark.pedantic(_run_figure1, rounds=1, iterations=1)
     winners = out["winners"]
-    counts = {
-        fam: {k: winners[fam].count(k) for k in range(1, N_SOLVERS + 1)}
-        for fam in FAMILIES
-    }
-    print_table(
+    report = winner_histogram_report(
         f"Figure 1 analogue: racing winners per setting (odd=SDP, even=LP); "
         f"{out['excluded']} instances solved during racing excluded",
-        ["setting", "kind", *FAMILIES],
-        [
-            [k, "SDP" if k % 2 == 1 else "LP", *(counts[fam][k] for fam in FAMILIES)]
-            for k in range(1, N_SOLVERS + 1)
-        ],
+        winners,
+        N_SOLVERS,
+        setting_kind=lambda k: "SDP" if k % 2 == 1 else "LP",
     )
+    print(report.render())
+    emit_bench_json("figure1", {"report": report, "winners": winners, "excluded": out["excluded"]})
 
     def lp_share(fam: str) -> float:
         total = len(winners[fam])

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import print_table, run_steiner_ug, table1_instances
+from benchmarks.common import emit_bench_json, run_steiner_ug, table1_instances
+from repro.obs.reporters import scaling_report
 
 THREAD_COUNTS = [1, 2, 4, 8, 16]
 
@@ -44,17 +45,13 @@ def test_table1_stp_shared_memory(benchmark):
     results = benchmark.pedantic(_run_table1, rounds=1, iterations=1)
 
     names = list(results)
-    rows = []
-    for n in THREAD_COUNTS:
-        rows.append([f"{n} solvers"] + [results[m]["times"][n] for m in names])
-    rows.append(["root time"] + [results[m]["root_time"] for m in names])
-    rows.append(["max # solvers"] + [results[m]["max_solvers"] for m in names])
-    rows.append(["first max active"] + [results[m]["first_max_active"] for m in names])
-    print_table(
+    report = scaling_report(
         "Table 1 analogue: shared-memory Steiner scaling (virtual seconds)",
-        ["", *names],
-        rows,
+        results,
+        THREAD_COUNTS,
     )
+    print(report.render())
+    emit_bench_json("table1", {"report": report, "results": results})
 
     for name in names:
         assert results[name]["solved"], f"{name} did not solve"

@@ -16,7 +16,8 @@ import math
 
 import pytest
 
-from benchmarks.common import campaign_instance, print_table
+from benchmarks.common import campaign_instance, emit_bench_json
+from repro.obs.reporters import progress_report
 from repro.ug.checkpoint import load_checkpoint
 
 # (solvers, virtual time limit) per run — the ISM -> HLRN III ramp in
@@ -76,26 +77,9 @@ def _run_campaign_with_restarts() -> list[dict]:
 @pytest.mark.benchmark(group="table2")
 def test_table2_bip_campaign(benchmark):
     rows = benchmark.pedantic(_run_campaign_with_restarts, rounds=1, iterations=1)
-    print_table(
-        "Table 2 analogue: bip80u checkpoint/restart campaign",
-        ["run", "cores", "time", "idle%", "trans", "primal", "dual", "gap%", "nodes", "open", "restart_nodes"],
-        [
-            [
-                r["run"],
-                r["cores"],
-                r["time"],
-                100 * r["idle"],
-                r["transferred"],
-                r["primal_final"],
-                r["dual_final"],
-                100 * r["gap"] if math.isfinite(r["gap"]) else float("nan"),
-                r["nodes"],
-                r["open_final"],
-                r["restarted_from"] if r["restarted_from"] is not None else "-",
-            ]
-            for r in rows
-        ],
-    )
+    report = progress_report("Table 2 analogue: bip80u checkpoint/restart campaign", rows)
+    print(report.render())
+    emit_bench_json("table2", {"report": report, "runs": rows})
     # paper shapes: gap never worsens across runs...
     gaps = [r["gap"] for r in rows if math.isfinite(r["gap"])]
     assert all(g2 <= g1 + 1e-9 for g1, g2 in zip(gaps, gaps[1:]))

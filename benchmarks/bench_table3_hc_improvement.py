@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import improvement_instance, print_table
+from benchmarks.common import emit_bench_json, improvement_instance, print_table
 from repro.apps.stp_plugins import SteinerUserPlugins
 from repro.ug import ParaSolution, ug
 from repro.ug.config import UGConfig
@@ -83,6 +83,7 @@ def test_table3_solution_improvement(benchmark):
             for r in rows
         ],
     )
+    emit_bench_json("table3", {"runs": rows})
     # each run never loses the seeded solution
     for r in rows:
         assert r["primal_final"] <= r["primal_init"] + 1e-9

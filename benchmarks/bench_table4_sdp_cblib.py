@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import print_table
+from benchmarks.common import emit_bench_json, print_table
 from repro.apps.misdp_plugins import MISDPUserPlugins
 from repro.cip.params import ParamSet
 from repro.sdp.instances import cblib_collection
@@ -100,6 +100,7 @@ def test_table4_sdp_cblib(benchmark):
             row += [solved, t]
         table.append(row)
     print_table("Table 4 analogue: CBLIB suite (9 instances, shifted geomean times)", header, table)
+    emit_bench_json("table4", {"header": header, "rows": table, "aggregates": rows})
 
     seq = rows["SCIP-SDP (seq)"]
     one = rows["ug[MISDP] 1 thr."]

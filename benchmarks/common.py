@@ -10,9 +10,11 @@ DESIGN.md §4.
 
 from __future__ import annotations
 
-from typing import Iterable
+from pathlib import Path
+from typing import Any, Iterable
 
 from repro.cip.params import ParamSet
+from repro.obs.reporters import render_table, write_bench_json
 from repro.steiner.graph import SteinerGraph
 from repro.steiner.instances import (
     bipartite_instance,
@@ -105,22 +107,20 @@ def run_steiner_ug(
     return solver.run()
 
 
-# --- table formatting ---------------------------------------------------------
+# --- table formatting & artifacts ---------------------------------------------
 
 def print_table(title: str, header: list[str], rows: Iterable[Iterable[object]]) -> None:
-    rows = [[_fmt(c) for c in row] for row in rows]
-    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h) for i, h in enumerate(header)]
-    print(f"\n=== {title} ===")
-    print("  ".join(h.rjust(w) for h, w in zip(header, widths)))
-    for row in rows:
-        print("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    """Render via the shared reporter so benchmarks and reports agree."""
+    print(render_table(title, list(header), rows))
 
 
-def _fmt(value: object) -> str:
-    if isinstance(value, float):
-        if value != value:  # nan
-            return "-"
-        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
-            return f"{value:.3g}"
-        return f"{value:.3f}".rstrip("0").rstrip(".")
-    return str(value)
+def emit_bench_json(name: str, payload: Any) -> Path:
+    """Write the machine-readable ``BENCH_<name>.json`` companion artifact.
+
+    Destination is ``$BENCH_OUTPUT_DIR`` (created if missing) or the
+    working directory; every bench module calls this once per table so CI
+    can upload the artifacts alongside the printed text.
+    """
+    path = write_bench_json(name, payload)
+    print(f"[bench] wrote {path}")
+    return path

@@ -1,0 +1,64 @@
+"""Export a traced ug[SteinerJack, SimMPI] run as CI telemetry artifacts.
+
+Runs one small deterministic SimEngine solve with tracing enabled and
+writes, into ``$BENCH_OUTPUT_DIR`` (or the working directory):
+
+* ``trace.jsonl`` — the canonical JSONL event stream (bit-identical for
+  the same seed under the SimEngine; the determinism contract is tested
+  in ``tests/test_ug_obs.py``),
+* ``BENCH_telemetry.json`` — run statistics, per-rank busy/idle
+  timelines and tracer health (event count, ring-buffer drops).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/export_telemetry.py
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.obs.metrics import busy_timelines, timeline_idle_ratios
+from repro.obs.reporters import write_bench_json
+from repro.steiner.instances import hypercube_instance
+from repro.apps.stp_plugins import SteinerUserPlugins
+from repro.ug import ug
+from repro.ug.config import UGConfig
+
+
+def export(directory: str | None = None) -> Path:
+    base = Path(directory if directory is not None else os.environ.get("BENCH_OUTPUT_DIR", "."))
+    base.mkdir(parents=True, exist_ok=True)
+
+    graph = hypercube_instance(4, perturbed=False, seed=1)
+    config = UGConfig(time_limit=1e9, objective_epsilon=1 - 1e-6, trace_enabled=True)
+    result = ug(graph, SteinerUserPlugins(), n_solvers=4, comm="sim",
+                config=config, seed=0).run()
+    tracer = result.trace
+    assert tracer is not None and tracer.enabled
+
+    trace_path = base / "trace.jsonl"
+    tracer.dump(trace_path)
+
+    timelines = busy_timelines(tracer.events())
+    span = result.stats.computing_time
+    write_bench_json(
+        "telemetry",
+        {
+            "solver": result.name,
+            "solved": result.solved,
+            "objective": result.objective,
+            "stats": result.stats,
+            "trace_events": len(tracer.events()),
+            "trace_dropped": tracer.dropped,
+            "idle_by_rank": timeline_idle_ratios(timelines, span, ranks=range(1, 5)),
+        },
+        directory=base,
+    )
+    print(f"[telemetry] wrote {trace_path} ({len(tracer.events())} events)")
+    return trace_path
+
+
+if __name__ == "__main__":
+    export()

@@ -1,0 +1,221 @@
+"""Paper-shaped artifact renderers + machine-readable benchmark output.
+
+Three report families mirror the paper's evaluation:
+
+* :func:`scaling_report` — Table 1/4 shape: one column per instance,
+  one row per solver count, plus the lower panel (root time, max #
+  solvers, first-max-active time).
+* :func:`winner_histogram_report` — Figure 1 shape: racing winners per
+  setting with an ASCII bar per row.
+* :func:`progress_report` — Tables 2-3 shape: one row per
+  checkpoint/restart run of a campaign (time, idle, bounds, gap, nodes,
+  open nodes).
+
+Every report renders to the text table the benchmarks print *and*
+serializes to JSON; :func:`write_bench_json` writes ``BENCH_<name>.json``
+artifacts (non-finite floats encoded as strings so the files stay
+strictly-valid JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Compact human formatting shared by all text tables."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(title: str, header: Sequence[str], rows: Iterable[Iterable[object]]) -> str:
+    """The text-table format every ``bench_*`` module prints."""
+    cells = [[format_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h) for i, h in enumerate(header)
+    ]
+    lines = [f"\n=== {title} ==="]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """A rendered artifact: title + header + rows (+ free-form extras)."""
+
+    title: str
+    header: list[str]
+    rows: list[list[Any]]
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return render_table(self.title, self.header, self.rows)
+
+    def to_json(self) -> dict[str, Any]:
+        return {"title": self.title, "header": self.header, "rows": self.rows, **self.extra}
+
+
+# -- Table 1 / Table 4 shape ----------------------------------------------------
+
+
+def scaling_report(
+    title: str,
+    results: Mapping[str, Mapping[str, Any]],
+    thread_counts: Sequence[int],
+) -> Report:
+    """Scaling rows per solver count plus the paper's lower panel.
+
+    ``results[name]`` must map ``"times"`` to ``{n_solvers: seconds}``
+    and may carry ``"root_time"``, ``"max_solvers"`` and
+    ``"first_max_active"`` for the lower panel.
+    """
+    names = list(results)
+    rows: list[list[Any]] = []
+    for n in thread_counts:
+        rows.append([f"{n} solvers"] + [results[m]["times"].get(n) for m in names])
+    panel = [
+        ("root time", "root_time"),
+        ("max # solvers", "max_solvers"),
+        ("first max active", "first_max_active"),
+    ]
+    for label, key in panel:
+        if any(key in results[m] for m in names):
+            rows.append([label] + [results[m].get(key) for m in names])
+    return Report(title, ["", *names], rows)
+
+
+# -- Figure 1 shape -------------------------------------------------------------
+
+
+def winner_histogram(winners: Mapping[str, Iterable[int]], n_settings: int) -> dict[str, dict[int, int]]:
+    """Count racing winners per setting index for each instance family."""
+    counts: dict[str, dict[int, int]] = {}
+    for family, ws in winners.items():
+        ws = list(ws)
+        counts[family] = {k: ws.count(k) for k in range(1, n_settings + 1)}
+    return counts
+
+
+def winner_histogram_report(
+    title: str,
+    winners: Mapping[str, Iterable[int]],
+    n_settings: int,
+    setting_kind: Any = None,
+    bar_width: int = 20,
+) -> Report:
+    """Figure 1-style histogram: winners per setting, ASCII bar per row.
+
+    ``setting_kind`` labels each setting index (e.g. odd = "SDP",
+    even = "LP" as in the paper's customized racing portfolio).
+    """
+    counts = winner_histogram(winners, n_settings)
+    families = list(counts)
+    peak = max((c for fam in families for c in counts[fam].values()), default=0)
+    rows: list[list[Any]] = []
+    for k in range(1, n_settings + 1):
+        total = sum(counts[fam][k] for fam in families)
+        bar = "#" * (round(bar_width * total / peak) if peak else 0)
+        row: list[Any] = [k]
+        if setting_kind is not None:
+            row.append(setting_kind(k))
+        row.extend(counts[fam][k] for fam in families)
+        row.append(bar)
+        rows.append(row)
+    header = ["setting"] + (["kind"] if setting_kind is not None else []) + families + [""]
+    return Report(title, header, rows, extra={"counts": counts})
+
+
+# -- Tables 2-3 shape -----------------------------------------------------------
+
+#: (column label, row key) pairs of the restart-series progress log; a key
+#: absent from every run is omitted from the rendered report.
+PROGRESS_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("run", "run"),
+    ("cores", "cores"),
+    ("time", "time"),
+    ("idle%", "idle_pct"),
+    ("trans", "transferred"),
+    ("primal", "primal_final"),
+    ("dual", "dual_final"),
+    ("gap%", "gap_pct"),
+    ("nodes", "nodes"),
+    ("open", "open_final"),
+    ("restart_nodes", "restarted_from"),
+)
+
+
+def progress_report(title: str, runs: Sequence[Mapping[str, Any]]) -> Report:
+    """Restart-series progress log: one row per campaign run.
+
+    Accepts the row dictionaries the campaign benchmarks build; derives
+    percentage columns (``idle_pct``, ``gap_pct``) from the fractional
+    ``idle`` / ``gap`` keys when present.
+    """
+    derived: list[dict[str, Any]] = []
+    for r in runs:
+        row = dict(r)
+        if "idle" in row and "idle_pct" not in row:
+            row["idle_pct"] = 100.0 * row["idle"]
+        if "gap" in row and "gap_pct" not in row:
+            gap = row["gap"]
+            row["gap_pct"] = 100.0 * gap if isinstance(gap, (int, float)) and math.isfinite(gap) else None
+        derived.append(row)
+    columns = [(label, key) for label, key in PROGRESS_COLUMNS if any(key in r for r in derived)]
+    rows = [[r.get(key) for _label, key in columns] for r in derived]
+    return Report(title, [label for label, _key in columns], rows)
+
+
+# -- machine-readable benchmark artifacts ---------------------------------------
+
+
+def _json_safe(obj: Any) -> Any:
+    """Recursively make ``obj`` strictly-valid JSON (inf/nan -> strings)."""
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "nan"
+        if math.isinf(obj):
+            return "inf" if obj > 0 else "-inf"
+        return obj
+    if isinstance(obj, dict):
+        return {str(k): _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [_json_safe(v) for v in obj]
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "to_json"):
+        return _json_safe(obj.to_json())
+    if hasattr(obj, "as_dict"):
+        return _json_safe(obj.as_dict())
+    return str(obj)
+
+
+def write_bench_json(name: str, payload: Any, directory: str | os.PathLike | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` next to a benchmark's text table.
+
+    ``directory`` defaults to ``$BENCH_OUTPUT_DIR`` or the working
+    directory; it is created if missing.  ``payload`` may contain
+    :class:`Report` objects, statistics objects with ``as_dict``/
+    ``to_json``, and non-finite floats — everything is made JSON-safe.
+    """
+    base = Path(directory if directory is not None else os.environ.get("BENCH_OUTPUT_DIR", "."))
+    base.mkdir(parents=True, exist_ok=True)
+    path = base / f"BENCH_{name}.json"
+    doc = _json_safe(payload.to_json() if isinstance(payload, Report) else payload)
+    path.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n")
+    return path

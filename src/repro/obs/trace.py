@@ -1,0 +1,126 @@
+"""Structured event tracing — ring-buffered, JSONL-exportable, deterministic.
+
+One :class:`Tracer` serves one engine run.  Every instrumentation point
+(message send/deliver/drop/delay, solver wake, crash, assignment,
+reclaim, pruning, collect-mode toggles, racing decisions, checkpoint
+writes, solver steps, solutions, node shedding) emits a
+:class:`TraceEvent` — a ``(t, kind, rank, data)`` tuple with JSON-safe
+payload values.
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.**  ``emit`` returns immediately when the
+   tracer is disabled, and every hot-path call site additionally guards
+   on ``tracer.enabled`` before building its payload, so an untraced run
+   pays one attribute load + branch per event.
+2. **Determinism under the SimEngine.**  Event payloads carry only
+   values that are functions of (seed, FaultPlan, config): virtual
+   times, ranks, LoadCoordinator node ids, bounds, tag names.  Nothing
+   wall-clock, nothing ``id()``-derived, no global counters that survive
+   across runs.  Two SimEngine runs with the same inputs export
+   byte-identical JSONL — the fault-tolerance and protocol tests use the
+   trace as a regression oracle.
+3. **Bounded memory.**  Events live in a ring buffer
+   (``collections.deque(maxlen=capacity)``); overflow drops the oldest
+   events and counts them in :attr:`Tracer.dropped`.  Appends are
+   lock-guarded so the ThreadEngine's solver threads can share one
+   tracer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One telemetry event.
+
+    ``t`` is virtual seconds under the SimEngine, engine-relative wall
+    seconds under the ThreadEngine, and cumulative busy work for events
+    emitted by a ParaSolver (which has no engine clock of its own).
+    """
+
+    t: float
+    kind: str
+    rank: int
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {"t": self.t, "kind": self.kind, "rank": self.rank, "data": self.data}
+
+
+class Tracer:
+    """Ring-buffered event collector shared by one engine run."""
+
+    __slots__ = ("enabled", "capacity", "dropped", "_events", "_lock")
+
+    def __init__(self, enabled: bool = True, capacity: int = 1 << 16) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.dropped = 0
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def emit(self, t: float, kind: str, rank: int = 0, **data: Any) -> None:
+        """Record one event; a no-op while the tracer is disabled."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(TraceEvent(float(t), kind, rank, data))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events())
+
+    def events(self, kind: str | None = None, rank: int | None = None) -> list[TraceEvent]:
+        """Snapshot of the buffered events, optionally filtered."""
+        with self._lock:
+            out = list(self._events)
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if rank is not None:
+            out = [e for e in out if e.rank == rank]
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+    # -- export ---------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Canonical JSONL encoding: one event per line, sorted keys.
+
+        The encoding is the determinism contract: byte-compare two
+        exports to assert two runs took identical decisions.
+        """
+        return "".join(
+            json.dumps(e.to_json(), sort_keys=True, separators=(",", ":")) + "\n"
+            for e in self.events()
+        )
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the JSONL export to ``path`` and return it."""
+        p = Path(path)
+        p.write_text(self.to_jsonl())
+        return p
+
+
+#: Shared disabled tracer used as the default instrumentation target, so
+#: components constructed outside an engine (unit tests, direct driving)
+#: need no wiring.  Never enable this instance — attach a fresh
+#: :class:`Tracer` instead.
+NULL_TRACER = Tracer(enabled=False, capacity=1)

@@ -51,6 +51,14 @@ class UGConfig:
     # SimEngine message latency (virtual seconds)
     latency: float = 1e-4
 
+    # observability (repro.obs): structured event tracing; disabled by
+    # default so untraced runs pay one branch per instrumentation point.
+    # Under the SimEngine a trace replays bit-identically for the same
+    # seed + fault_plan; the ring buffer caps memory at trace_capacity
+    # events (oldest dropped, counted in Tracer.dropped)
+    trace_enabled: bool = False
+    trace_capacity: int = 1 << 16
+
     # fault tolerance -----------------------------------------------------
     # an *active* solver silent for this long is declared dead, its node
     # reclaimed and the run continues with the survivors; inf disables

@@ -31,11 +31,27 @@ import time
 from typing import Any, Callable
 
 from repro.exceptions import CommError
+from repro.obs.trace import Tracer
 from repro.ug.config import UGConfig
 from repro.ug.faults import FaultInjector, make_retrying_send
 from repro.ug.load_coordinator import LoadCoordinator
 from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag
 from repro.ug.para_solver import ParaSolver
+
+
+def _attach_tracer(
+    tracer: Tracer | None,
+    config: UGConfig,
+    lc: LoadCoordinator,
+    solvers: dict[int, ParaSolver],
+) -> Tracer:
+    """One tracer per engine run, shared by every protocol component."""
+    if tracer is None:
+        tracer = Tracer(enabled=config.trace_enabled, capacity=config.trace_capacity)
+    lc.tracer = tracer
+    for solver in solvers.values():
+        solver.tracer = tracer
+    return tracer
 
 
 class SimEngine:
@@ -48,6 +64,7 @@ class SimEngine:
         config: UGConfig,
         max_events: int = 5_000_000,
         wall_clock_limit: float = float("inf"),
+        tracer: Tracer | None = None,
     ) -> None:
         self.lc = lc
         self.solvers = solvers
@@ -56,6 +73,7 @@ class SimEngine:
         self.wall_clock_limit = wall_clock_limit
         self.injector = FaultInjector(config.fault_plan)
         lc.fault_injector = self.injector
+        self.tracer = _attach_tracer(tracer, config, lc, solvers)
         self._events: list[tuple[float, int, str, int, Message | None]] = []
         self._seq = itertools.count()
         self._clock: dict[int, float] = {r: 0.0 for r in solvers}
@@ -64,6 +82,10 @@ class SimEngine:
         self._inbox: dict[int, list[Message]] = {r: [] for r in solvers}
         self.now = 0.0
         self.virtual_time = 0.0
+        # running total of processed B&B nodes across all solvers, kept
+        # current by _run_solver — the node-limit check runs on every
+        # event and must not re-sum every solver each time
+        self._nodes_total = 0
 
     # -- event plumbing --------------------------------------------------------
 
@@ -75,16 +97,26 @@ class SimEngine:
             self.injector.check_send(src)  # may raise a transient CommError
             msg = Message(tag=tag, src=src, dst=dst, payload=payload)
             action, extra_delay = self.injector.message_action(msg)
+            tracer = self.tracer
             if action == "drop":
+                if tracer.enabled:
+                    tracer.emit(when(), "send", src, dst=dst, tag=tag.value, action="drop")
                 return
             t = when() + self.config.latency + extra_delay
             if dst == LOAD_COORDINATOR_RANK:
+                if tracer.enabled:
+                    tracer.emit(when(), "send", src, dst=dst, tag=tag.value, action=action, delay=extra_delay)
                 self._push(t, "lcmsg", dst, msg)
             else:
                 if dst not in self.solvers:
                     raise CommError(f"unknown rank {dst}")
                 if self.injector.is_crashed(dst):
-                    return  # a dead rank is a black hole
+                    # a dead rank is a black hole
+                    if tracer.enabled:
+                        tracer.emit(when(), "send", src, dst=dst, tag=tag.value, action="blackhole")
+                    return
+                if tracer.enabled:
+                    tracer.emit(when(), "send", src, dst=dst, tag=tag.value, action=action, delay=extra_delay)
                 self._push(t, "smsg", dst, msg)
 
         return make_retrying_send(send, self.config, self.injector, real_time=False)
@@ -99,6 +131,7 @@ class SimEngine:
         start_wall = time.perf_counter()
         events_done = 0
         interrupted = False
+        tracer = self.tracer
         while self._events:
             t, _, kind, rank, msg = heapq.heappop(self._events)
             self.now = t
@@ -108,9 +141,7 @@ class SimEngine:
                 raise CommError("SimEngine exceeded max_events — protocol livelock?")
 
             over_time = t >= self.config.time_limit
-            over_nodes = (
-                sum(s.nodes_processed_total for s in self.solvers.values()) >= self.config.node_limit
-            )
+            over_nodes = self._nodes_total >= self.config.node_limit
             over_wall = time.perf_counter() - start_wall >= self.wall_clock_limit
             if not interrupted and not self.lc.finished and (over_time or over_nodes or over_wall):
                 interrupted = True
@@ -120,6 +151,8 @@ class SimEngine:
             if kind == "lcmsg":
                 assert msg is not None
                 lc_send_time[0] = t
+                if tracer.enabled:
+                    tracer.emit(t, "deliver", LOAD_COORDINATOR_RANK, src=msg.src, tag=msg.tag.value)
                 if not self.lc.finished:
                     self.lc.handle_message(msg, lc_send, t)
                     self.lc.on_tick(lc_send, t)
@@ -134,11 +167,15 @@ class SimEngine:
                 assert msg is not None
                 if self.injector.is_crashed(rank):
                     continue
+                if tracer.enabled:
+                    tracer.emit(t, "deliver", rank, src=msg.src, tag=msg.tag.value)
                 self._inbox[rank].append(msg)
                 self._clock[rank] = max(self._clock[rank], t)
                 self._schedule_wake(rank)
             elif kind == "wake":
                 self._wake_scheduled.discard(rank)
+                if tracer.enabled:
+                    tracer.emit(t, "wake", rank)
                 self._run_solver(rank)
         if not self.lc.finished:
             lc_send_time[0] = self.virtual_time
@@ -169,6 +206,7 @@ class SimEngine:
         solver = self.solvers[rank]
         clock = self._clock[rank]
         if self.injector.maybe_crash(rank, clock, solver.nodes_processed_total):
+            self.tracer.emit(clock, "crash", rank, nodes=solver.nodes_processed_total)
             self._inbox[rank].clear()
             return
         send = self._send_factory(rank, lambda: self._clock[rank])
@@ -177,21 +215,25 @@ class SimEngine:
         self._inbox[rank].clear()
         if solver.state == "terminated":
             return
+        nodes_before = solver.nodes_processed_total
         work = solver.do_work(send)
+        self._nodes_total += solver.nodes_processed_total - nodes_before
         if work is not None:
             self._clock[rank] = clock + work
             self._busy[rank] += work
+            if self.tracer.enabled:
+                self.tracer.emit(clock, "work", rank, work=work)
             self._schedule_wake(rank)
         # idle solvers sleep until the next message arrives
 
     def _compute_idle_ratio(self) -> None:
         span = self.lc.stats.computing_time or self.virtual_time
         if span <= 0 or not self.solvers:
-            self.lc.stats.idle_ratio = 0.0
+            self.lc.metrics.set("idle_ratio", 0.0)
             return
         total = span * len(self.solvers)
         busy = sum(min(b, span) for b in self._busy.values())
-        self.lc.stats.idle_ratio = max(0.0, 1.0 - busy / total)
+        self.lc.metrics.set("idle_ratio", max(0.0, 1.0 - busy / total))
 
 
 class ThreadEngine:
@@ -202,22 +244,30 @@ class ThreadEngine:
         lc: LoadCoordinator,
         solvers: dict[int, ParaSolver],
         config: UGConfig,
+        tracer: Tracer | None = None,
     ) -> None:
         self.lc = lc
         self.solvers = solvers
         self.config = config
         self.injector = FaultInjector(config.fault_plan)
         lc.fault_injector = self.injector
+        self.tracer = _attach_tracer(tracer, config, lc, solvers)
         self._queues: dict[int, queue.Queue] = {r: queue.Queue() for r in solvers}
         self._lc_queue: queue.Queue = queue.Queue()
         self._t0 = 0.0
         self._busy: dict[int, float] = {r: 0.0 for r in solvers}
+        # running node total shared by the solver threads (lock-guarded)
+        # so the main loop's node-limit check needn't re-sum every solver
+        self._nodes_total = 0
+        self._nodes_lock = threading.Lock()
 
     def _send(self, src: int):
         def send(dst: int, tag: MessageTag, payload: Any) -> None:
             self.injector.check_send(src)  # may raise a transient CommError
             msg = Message(tag=tag, src=src, dst=dst, payload=payload)
             action, extra_delay = self.injector.message_action(msg)
+            if self.tracer.enabled:
+                self.tracer.emit(self._now(), "send", src, dst=dst, tag=tag.value, action=action)
             if action == "drop":
                 return
             target = self._lc_queue if dst == LOAD_COORDINATOR_RANK else self._queues[dst]
@@ -239,6 +289,7 @@ class ThreadEngine:
         send = self._send(rank)
         while solver.state != "terminated":
             if self.injector.maybe_crash(rank, self._now(), solver.nodes_processed_total):
+                self.tracer.emit(self._now(), "crash", rank, nodes=solver.nodes_processed_total)
                 return  # simulate a killed worker process: vanish silently
             if solver.is_busy:
                 # busy: poll the queue without blocking, then advance the tree
@@ -247,14 +298,25 @@ class ThreadEngine:
                         msg = q.get_nowait()
                     except queue.Empty:
                         break
+                    if self.tracer.enabled:
+                        self.tracer.emit(self._now(), "deliver", rank, src=msg.src, tag=msg.tag.value)
                     solver.handle_message(msg, send)
                     if solver.state == "terminated":
                         return
                 if not solver.is_busy:
                     continue  # a message flipped us idle; block on the queue
+                start = self._now()
+                nodes_before = solver.nodes_processed_total
                 t0 = time.perf_counter()
                 solver.do_work(send)
-                self._busy[rank] += time.perf_counter() - t0
+                elapsed = time.perf_counter() - t0
+                self._busy[rank] += elapsed
+                delta = solver.nodes_processed_total - nodes_before
+                if delta:
+                    with self._nodes_lock:
+                        self._nodes_total += delta
+                if self.tracer.enabled:
+                    self.tracer.emit(start, "work", rank, work=elapsed)
             else:
                 # idle: block with a timeout (no busy-wait) until work or
                 # termination arrives; the timeout keeps crash checks alive
@@ -277,9 +339,9 @@ class ThreadEngine:
         node_limit = self.config.node_limit
         while not self.lc.finished:
             now = self._now()
-            if now >= self.config.time_limit or (
-                sum(s.nodes_processed_total for s in self.solvers.values()) >= node_limit
-            ):
+            with self._nodes_lock:
+                nodes_total = self._nodes_total
+            if now >= self.config.time_limit or nodes_total >= node_limit:
                 self.lc.interrupt(send, now)
                 break
             try:
@@ -287,6 +349,8 @@ class ThreadEngine:
             except queue.Empty:
                 self.lc.on_tick(send, self._now())
                 continue
+            if self.tracer.enabled:
+                self.tracer.emit(self._now(), "deliver", LOAD_COORDINATOR_RANK, src=msg.src, tag=msg.tag.value)
             self.lc.handle_message(msg, send, self._now())
             self.lc.on_tick(send, self._now())
         for th in threads:
@@ -299,4 +363,4 @@ class ThreadEngine:
         span = self.lc.stats.computing_time or self._now()
         total = span * max(len(self.solvers), 1)
         busy = sum(min(b, span) for b in self._busy.values())
-        self.lc.stats.idle_ratio = max(0.0, 1.0 - busy / total) if total > 0 else 0.0
+        self.lc.metrics.set("idle_ratio", max(0.0, 1.0 - busy / total) if total > 0 else 0.0)

@@ -13,6 +13,7 @@ from typing import Any
 
 from repro.cip.params import ParamSet
 from repro.exceptions import CommError
+from repro.obs.trace import Tracer
 from repro.ug.checkpoint import load_checkpoint
 from repro.ug.config import UGConfig
 from repro.ug.engines import SimEngine, ThreadEngine
@@ -37,6 +38,8 @@ class UGResult:
     dual_bound: float
     stats: UGStatistics
     solved: bool
+    # the run's event trace (empty unless config.trace_enabled)
+    trace: Tracer | None = None
 
     @property
     def objective(self) -> float:
@@ -116,6 +119,7 @@ class UGSolver:
                 self.seed,
                 status_interval_work=self.config.status_interval_work,
                 min_open_to_shed=self.config.min_open_to_shed,
+                objective_epsilon=self.config.objective_epsilon,
             )
             for rank in range(1, self.n_solvers + 1)
         }
@@ -133,7 +137,7 @@ class UGSolver:
             and (lc.stats.solved_in_racing or (lc.pool_size() == 0 and not lc.active))
         )
         dual = lc.stats.dual_final if solved else lc.global_dual_bound()
-        return UGResult(self.name, lc.incumbent, dual, lc.stats, solved)
+        return UGResult(self.name, lc.incumbent, dual, lc.stats, solved, trace=engine.tracer)
 
 
 def ug(

@@ -26,6 +26,8 @@ import time
 from typing import Any, Callable
 
 from repro.cip.params import ParamSet
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.ug.checkpoint import save_checkpoint
 from repro.ug.config import UGConfig
 from repro.ug.messages import ACCEPTED_FROM_DEAD_TAGS, LOAD_COORDINATOR_RANK, Message, MessageTag
@@ -68,6 +70,13 @@ class LoadCoordinator:
         self.incumbent: ParaSolution | None = initial_incumbent
         self.finished = False
         self.stats = UGStatistics(n_solvers=n_solvers)
+        # the registry is the single mutation pathway for the run
+        # statistics; every update write-throughs onto self.stats so
+        # mid-run readers (checkpoints, tests) always see a live snapshot
+        self.metrics = MetricsRegistry(sink=self.stats)
+        # engine-attached telemetry sink (NULL_TRACER outside engines)
+        self.tracer = NULL_TRACER
+        self._trace_now = 0.0
         self._last_status: dict[int, dict[str, Any]] = {}
         self._nodes_processed: dict[int, int] = {}
         self._solver_dual: dict[int, float] = {}
@@ -100,6 +109,7 @@ class LoadCoordinator:
 
     def start(self, send: SendFn, now: float) -> None:
         """Initial distribution: restart pool, racing, or single-root."""
+        self._trace_now = now
         if self._restart_pool:
             for node in self._restart_pool:
                 self._push_pool(node, renumber=True)
@@ -118,6 +128,9 @@ class LoadCoordinator:
                 node.lc_id = next(self._lc_ids)
                 self.active[rank] = node
                 self._last_heartbeat[rank] = now
+                self.tracer.emit(
+                    now, "racing_start", rank, settings=self._settings_of_rank[rank], lc_id=node.lc_id
+                )
                 send(
                     rank,
                     MessageTag.RACING_START,
@@ -125,7 +138,7 @@ class LoadCoordinator:
                 )
             self.idle.clear()
             self._record_active(now)
-            self.stats.transferred_nodes += self.n_solvers
+            self.metrics.inc("transferred_nodes", self.n_solvers)
         else:
             root.lc_id = next(self._lc_ids)
             self._push_pool(root)
@@ -152,17 +165,19 @@ class LoadCoordinator:
                 self.incumbent is not None
                 and node.dual_bound >= self.incumbent.value - self.config.objective_epsilon
             ):
+                self.tracer.emit(now, "prune", 0, lc_id=node.lc_id, dual=node.dual_bound)
                 continue  # pruned by bound
             rank = min(self.idle)
             self.idle.discard(rank)
             self.active[rank] = node
             self._last_heartbeat[rank] = now
+            self.tracer.emit(now, "assign", rank, lc_id=node.lc_id, dual=node.dual_bound)
             send(
                 rank,
                 MessageTag.SUBPROBLEM,
                 {"node": node, "incumbent": self._incumbent_value(), "settings": self._solver_params(rank)},
             )
-            self.stats.transferred_nodes += 1
+            self.metrics.inc("transferred_nodes")
         self._record_active(now)
         self._update_collecting(send)
         self._check_termination(send, now)
@@ -175,10 +190,8 @@ class LoadCoordinator:
         return self.params.with_changes(permutation_seed=self.params.permutation_seed + rank)
 
     def _record_active(self, now: float) -> None:
-        count = len(self.active)
-        if count > self.stats.max_active_solvers:
-            self.stats.max_active_solvers = count
-            self.stats.first_max_active_time = now
+        if self.metrics.maximize("max_active_solvers", len(self.active)):
+            self.metrics.set("first_max_active_time", now)
 
     # -- collect mode (heavy-subproblem management) ------------------------------
 
@@ -188,16 +201,12 @@ class LoadCoordinator:
         # collecting only makes sense while idle solvers are starving
         if not self.idle:
             if self.collecting:
-                for rank in self.collecting:
-                    send(rank, MessageTag.STOP_COLLECTING, None)
-                self.collecting.clear()
+                self._stop_collecting(send)
             return
         want = len(self.idle) + self.config.pool_buffer
         high = int(want * self.config.pool_high_watermark_factor)
         if self.collecting and len(self._pool) >= max(high, 1):
-            for rank in self.collecting:
-                send(rank, MessageTag.STOP_COLLECTING, None)
-            self.collecting.clear()
+            self._stop_collecting(send)
         elif not self.collecting and len(self._pool) < want and self.active:
             # pick the solvers believed to have the largest trees
             def open_count(rank: int) -> int:
@@ -205,14 +214,23 @@ class LoadCoordinator:
 
             candidates = sorted(self.active, key=lambda r: -open_count(r))
             for rank in candidates[: self.config.max_collectors]:
+                self.tracer.emit(self._trace_now, "collect_start", rank, pool=len(self._pool))
+                self.metrics.inc("collect_toggles")
                 send(rank, MessageTag.START_COLLECTING, None)
                 self.collecting.add(rank)
+
+    def _stop_collecting(self, send: SendFn) -> None:
+        for rank in self.collecting:
+            self.tracer.emit(self._trace_now, "collect_stop", rank, pool=len(self._pool))
+            send(rank, MessageTag.STOP_COLLECTING, None)
+        self.collecting.clear()
 
     # -- message handling ---------------------------------------------------------
 
     def handle_message(self, msg: Message, send: SendFn, now: float) -> None:
         tag = msg.tag
         payload = msg.payload or {}
+        self._trace_now = now
         if msg.src != LOAD_COORDINATOR_RANK:
             if msg.src in self.dead:
                 # a rank declared dead may still have messages in flight (or
@@ -235,11 +253,19 @@ class LoadCoordinator:
             self._assign(send, now)
         elif tag is MessageTag.STATUS:
             rank = payload["rank"]
+            if rank not in self.active:
+                # a stale or delayed STATUS from a rank that already left
+                # the working set (terminated, racing loser, failed) must
+                # not re-enter _last_status — it was popped on TERMINATED,
+                # and a resurrected entry can spuriously trip
+                # _maybe_finish_racing's open-node threshold
+                self.tracer.emit(now, "stale_status", rank)
+                return
             self._last_status[rank] = payload
             self._nodes_processed[rank] = payload.get("nodes_processed", 0)
             self._solver_dual[rank] = payload.get("dual_bound", -math.inf)
             if not self._root_reported and "first_step_work" in payload:
-                self.stats.root_time = payload["first_step_work"]
+                self.metrics.set("root_time", payload["first_step_work"])
                 self._root_reported = True
             if self._racing:
                 self._maybe_finish_racing(send, now)
@@ -250,7 +276,8 @@ class LoadCoordinator:
             if payload.get("failed"):
                 # the ParaSolver contained a base-solver error: the solver
                 # itself survives, but its subproblem must be re-explored
-                self.stats.step_failures += 1
+                self.metrics.inc("step_failures")
+                self.tracer.emit(now, "step_failure_contained", rank)
                 if "nodes_processed" in payload:
                     self._nodes_processed[rank] = payload["nodes_processed"]
                 self.collecting.discard(rank)
@@ -286,9 +313,10 @@ class LoadCoordinator:
                 self._nodes_processed[rank] = payload["nodes_processed"]
             if self._racing:
                 # a racer finished the whole instance during the race
-                self.stats.solved_in_racing = True
+                self.metrics.set("solved_in_racing", True)
                 self._racing = False
-                self.stats.racing_winner = None
+                self.metrics.set("racing_winner", None)
+                self.tracer.emit(now, "solved_in_racing", rank)
                 self._broadcast_termination(send, now)
                 return
             self._assign(send, now)
@@ -302,6 +330,8 @@ class LoadCoordinator:
             self.stats.primal_initial = sol.value
         self.incumbent = sol
         self.stats.primal_final = sol.value
+        self.metrics.inc("solutions_accepted")
+        self.tracer.emit(self._trace_now, "incumbent", 0, value=sol.value)
         # share the bound with every busy solver
         for rank in self.active:
             send(rank, MessageTag.INCUMBENT, {"value": sol.value})
@@ -309,6 +339,7 @@ class LoadCoordinator:
         eps = self.config.objective_epsilon
         kept = [(b, s, n) for b, s, n in self._pool if n.dual_bound < sol.value - eps]
         if len(kept) != len(self._pool):
+            self.tracer.emit(self._trace_now, "pool_prune", 0, removed=len(self._pool) - len(kept))
             self._pool = kept
             heapq.heapify(self._pool)
 
@@ -332,13 +363,22 @@ class LoadCoordinator:
 
         winner = max(contenders, key=key)
         self._racing = False
-        self.stats.racing_winner = self._settings_of_rank.get(winner)
-        self.stats.racing_time = now
+        self.metrics.set("racing_winner", self._settings_of_rank.get(winner))
+        self.metrics.set("racing_time", now)
         winner_node = self.active[winner]
+        self.tracer.emit(
+            now,
+            "racing_winner",
+            winner,
+            settings=self._settings_of_rank.get(winner),
+            deadline_hit=deadline_hit,
+            contenders=len(contenders),
+        )
         send(winner, MessageTag.RACING_WINNER, None)
         self.collecting.add(winner)
         for rank in contenders:
             if rank != winner:
+                self.tracer.emit(now, "racing_loser", rank)
                 send(rank, MessageTag.RACING_LOSER, None)
                 self.active.pop(rank, None)
         self.active = {winner: winner_node}
@@ -377,16 +417,20 @@ class LoadCoordinator:
             # a poisonous subproblem: stop retrying, surrender completeness
             self._lost_subtrees = True
             self._lost_dual = min(self._lost_dual, node.dual_bound)
+            self.metrics.inc("nodes_abandoned")
+            self.tracer.emit(self._trace_now, "abandon", rank, dual=node.dual_bound, attempts=node.attempts)
             return
         self._push_pool(node, renumber=True)
-        self.stats.nodes_reclaimed += 1
+        self.metrics.inc("nodes_reclaimed")
+        self.tracer.emit(self._trace_now, "reclaim", rank, lc_id=node.lc_id, attempts=node.attempts)
 
     def _mark_dead(self, rank: int, send: SendFn, now: float) -> None:
         """Declare ``rank`` lost, reclaim its work, keep the run going."""
         if rank in self.dead:
             return
         self.dead.add(rank)
-        self.stats.solver_failures += 1
+        self.metrics.inc("solver_failures")
+        self.tracer.emit(now, "solver_dead", rank, racing=self._racing)
         was_racing = self._racing
         if was_racing:
             # racing roots are copies of the same subproblem — the surviving
@@ -437,6 +481,7 @@ class LoadCoordinator:
         """Called by the engine after every event."""
         if self.finished:
             return
+        self._trace_now = now
         self._check_heartbeats(send, now)
         if self.finished:
             return
@@ -452,12 +497,15 @@ class LoadCoordinator:
     def interrupt(self, send: SendFn, now: float) -> None:
         """Stop the run (time/node limit): terminate everyone, keep state."""
         if not self.finished:
+            self._trace_now = now
+            self.tracer.emit(now, "interrupt", 0)
             if self.config.checkpoint_path is not None:
                 self.write_checkpoint(self.config.checkpoint_path, now)
             self._broadcast_termination(send, now)
 
     def _broadcast_termination(self, send: SendFn, now: float) -> None:
         self.finished = True
+        self.tracer.emit(now, "terminate", 0, pool=len(self._pool), active=len(self.active))
         for rank in range(1, self.n_solvers + 1):
             send(rank, MessageTag.TERMINATION, None)
         self._finalize_stats(now)
@@ -468,7 +516,8 @@ class LoadCoordinator:
 
     def _finalize_stats(self, now: float) -> None:
         s = self.stats
-        s.computing_time = now
+        m = self.metrics
+        m.set("computing_time", now)
         if self.incumbent is not None:
             s.primal_final = self.incumbent.value
         s.dual_final = self.global_dual_bound()
@@ -477,10 +526,12 @@ class LoadCoordinator:
         ) and not self._lost_subtrees
         if proven and self.incumbent is not None and not math.isinf(s.primal_final):
             s.dual_final = s.primal_final  # proven optimal
-        s.open_nodes_final = len(self._pool) + sum(
-            int(self._last_status.get(r, {}).get("n_open", 0)) for r in self.active
+        m.set(
+            "open_nodes_final",
+            len(self._pool)
+            + sum(int(self._last_status.get(r, {}).get("n_open", 0)) for r in self.active),
         )
-        s.nodes_generated = sum(self._nodes_processed.values())
+        m.set("nodes_generated", sum(self._nodes_processed.values()))
 
     @property
     def proven_complete(self) -> bool:
@@ -523,14 +574,17 @@ class LoadCoordinator:
             "dual_bound": self.global_dual_bound(),
             "solvers_alive": len(self.live_solvers()),
         }
-        save_checkpoint(
-            path,
-            self.primitive_nodes(),
-            self.incumbent,
-            self.stats,
-            meta=meta,
-            retain=self.config.checkpoint_retain,
-        )
-        self.stats.checkpoints_written += 1
+        nodes = self.primitive_nodes()
+        with self.metrics.timer("checkpoint_write_seconds").time():
+            save_checkpoint(
+                path,
+                nodes,
+                self.incumbent,
+                self.stats,
+                meta=meta,
+                retain=self.config.checkpoint_retain,
+            )
+        self.metrics.inc("checkpoints_written")
+        self.tracer.emit(self._trace_now, "checkpoint", 0, nodes=len(nodes))
         if self.fault_injector is not None:
             self.fault_injector.after_checkpoint_write(path)

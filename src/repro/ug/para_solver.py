@@ -18,6 +18,7 @@ from typing import Any, Callable
 
 from repro.cip.params import ParamSet
 from repro.exceptions import ReproError
+from repro.obs.trace import NULL_TRACER
 from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag
 from repro.ug.para_node import ParaNode
 from repro.ug.para_solution import ParaSolution
@@ -41,6 +42,7 @@ class ParaSolver:
         seed: int,
         status_interval_work: float = 0.05,
         min_open_to_shed: int = 4,
+        objective_epsilon: float = 1e-9,
     ) -> None:
         if rank == LOAD_COORDINATOR_RANK:
             raise ValueError("rank 0 is reserved for the LoadCoordinator")
@@ -51,6 +53,12 @@ class ParaSolver:
         self.seed = seed
         self.status_interval_work = status_interval_work
         self.min_open_to_shed = min_open_to_shed
+        # must match the coordinator's pruning epsilon: with the integral
+        # setting (1 - 1e-6) a worker reporting every 1e-9 improvement
+        # would spam solutions the Supervisor rejects
+        self.objective_epsilon = objective_epsilon
+        # engine-attached telemetry sink; events use busy_work as clock
+        self.tracer = NULL_TRACER
 
         self.state = "idle"  # idle | working | racing | terminated
         self.handle: SolverHandle | None = None
@@ -131,9 +139,11 @@ class ParaSolver:
         """
         if self.state not in ("working", "racing") or self.handle is None:
             return None
+        tracer = self.tracer
         try:
             step = self.handle.step()
         except ReproError:
+            tracer.emit(self.busy_work, "step_failure", self.rank, nodes=self.nodes_processed_total)
             send(
                 LOAD_COORDINATOR_RANK,
                 MessageTag.TERMINATED,
@@ -147,10 +157,22 @@ class ParaSolver:
         work = max(step.work, _MIN_STEP_WORK)
         self.busy_work += work
         self.nodes_processed_total += step.nodes_processed
+        if tracer.enabled:
+            tracer.emit(
+                self.busy_work,
+                "step",
+                self.rank,
+                work=work,
+                nodes=step.nodes_processed,
+                dual=step.dual_bound,
+                n_open=step.n_open,
+                finished=step.finished,
+            )
 
         for sol in step.solutions:
-            if sol.value < self.best_known - 1e-9:
+            if sol.value < self.best_known - self.objective_epsilon:
                 self.best_known = sol.value
+                tracer.emit(self.busy_work, "solution", self.rank, value=sol.value)
                 send(LOAD_COORDINATOR_RANK, MessageTag.SOLUTION_FOUND, {"solution": sol, "rank": self.rank})
 
         if step.finished:
@@ -190,6 +212,7 @@ class ParaSolver:
                 para.lineage = self.current_node.lineage + (
                     (self.current_node.lc_id,) if self.current_node.lc_id >= 0 else ()
                 )
+                tracer.emit(self.busy_work, "shed", self.rank, dual=para.dual_bound, depth=para.depth)
                 send(LOAD_COORDINATOR_RANK, MessageTag.NODE_TRANSFER, {"node": para, "rank": self.rank})
         return work
 

@@ -1,9 +1,16 @@
-"""Run statistics — the quantities reported in the paper's tables."""
+"""Run statistics — the quantities reported in the paper's tables.
+
+The dataclass is a passive snapshot: all incremental updates flow
+through the LoadCoordinator's :class:`~repro.obs.metrics.MetricsRegistry`,
+which mirrors every change onto the matching attribute here, so the
+object stays live for mid-run readers (checkpoints serialize it) while
+the registry owns the mutation pathway.
+"""
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass
@@ -56,8 +63,22 @@ class UGStatistics:
     def gap_final(self) -> float:
         return _gap(self.primal_final, self.dual_final)
 
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot including the derived quantities."""
+        d = asdict(self)
+        d["solver_busy"] = {str(k): v for k, v in self.solver_busy.items()}
+        d["gap_initial"] = self.gap_initial
+        d["gap_final"] = self.gap_final
+        d["surviving_solvers"] = self.surviving_solvers
+        return d
+
 
 def _gap(primal: float, dual: float) -> float:
     if math.isinf(primal) or math.isinf(dual):
+        return math.inf
+    if primal * dual < 0:
+        # SCIP convention: bounds on opposite sides of zero give an
+        # infinite gap — |p - d| / max(|p|, |d|) would report a bogus
+        # finite value (e.g. primal +5 / dual -5 -> "100%")
         return math.inf
     return abs(primal - dual) / max(abs(primal), abs(dual), 1.0)
