@@ -32,7 +32,14 @@ class MISDPHandle(SolverHandle):
             y = out.new_solution.x
             payload = None if y is None else [float(v) for v in y]
             sols = [ParaSolution(out.new_solution.value, payload)]
-        return HandleStep(out.finished, out.work, cip.dual_bound(), cip.n_open(), sols, 1)
+        return HandleStep(
+            out.finished, out.work, cip.dual_bound(), cip.n_open(), sols, 1, status=out.status.value
+        )
+
+    def attach_telemetry(self, tracer, rank: int = 0) -> None:
+        if self.solver.cip is not None:
+            self.solver.cip.tracer = tracer
+            self.solver.cip.trace_rank = rank
 
     def extract_para_node(self) -> ParaNode | None:
         cip = self.solver.cip

@@ -27,12 +27,25 @@ class SteinerHandle(SolverHandle):
                 edges, cost = self.solver._trivial_solution
                 sols = [ParaSolution(cost, {"edges": list(edges)})]
             self._done = True
-            return HandleStep(True, 1e-4, math.inf, 0, sols, 1)
+            return HandleStep(True, 1e-4, math.inf, 0, sols, 1, status="optimal")
         out = self.solver.cip.step()
         sols = []
         if out.new_solution is not None:
             sols = [ParaSolution(out.new_solution.value, {"edges": self.solver.extract_original_edges()})]
-        return HandleStep(out.finished, out.work, self.solver.cip.dual_bound(), self.solver.cip.n_open(), sols, 1)
+        return HandleStep(
+            out.finished,
+            out.work,
+            self.solver.cip.dual_bound(),
+            self.solver.cip.n_open(),
+            sols,
+            1,
+            status=out.status.value,
+        )
+
+    def attach_telemetry(self, tracer, rank: int = 0) -> None:
+        if self.solver.cip is not None:
+            self.solver.cip.tracer = tracer
+            self.solver.cip.trace_rank = rank
 
     def extract_para_node(self) -> ParaNode | None:
         cip = self.solver.cip

@@ -28,6 +28,22 @@ class CutPool:
         self._cuts.append(cut)
         return True
 
+    def shrink(self, keep_fraction: float = 0.5) -> int:
+        """Evict the oldest cuts, keeping ``keep_fraction`` of the pool.
+
+        Used for graceful degradation under memory pressure; cuts are
+        regenerable by separators, so this only costs re-separation work.
+        Returns the number of cuts evicted.
+        """
+        keep = max(0, int(len(self._cuts) * keep_fraction))
+        drop = len(self._cuts) - keep
+        if drop <= 0:
+            return 0
+        for old in self._cuts[:drop]:
+            self._keys.discard((old.coefs, round(old.lhs, 9), round(old.rhs, 9)))
+        self._cuts = self._cuts[drop:]
+        return drop
+
     def __len__(self) -> int:
         return len(self._cuts)
 

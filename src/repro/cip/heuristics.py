@@ -9,7 +9,7 @@ import numpy as np
 from repro.cip.node import Node
 from repro.cip.plugins import Heuristic
 from repro.cip.solver import CIPSolver
-from repro.lp import LinearProgram, LPStatus, solve_lp
+from repro.lp import LinearProgram, LPStatus
 
 
 class RoundingHeuristic(Heuristic):
@@ -71,7 +71,9 @@ class DivingHeuristic(Heuristic):
             lo, hi = lp.get_bounds(j)
             target = min(max(target, lo), hi)
             lp.set_bounds(j, target, target)
-            sol = solve_lp(lp, solver.params.lp_backend)
+            # route through the solver's failover chain so dives inherit
+            # numerical recovery and the solve deadline
+            sol = solver.solve_lp_robust(lp)
             if sol.status is not LPStatus.OPTIMAL:
                 return
             cur = sol.x

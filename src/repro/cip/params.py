@@ -51,6 +51,16 @@ class ParamSet:
     # branching
     branching_rule: str = ""  # empty = highest-priority registered rule
 
+    # robustness: quarantine a non-essential plugin after this many
+    # failed callbacks (SCIP-style "disabled for the rest of the solve")
+    plugin_max_failures: int = 3
+    # escalate failed LP solves through the RobustLPSolver chain
+    lp_failover: bool = True
+    # advisory memory ceiling; crossing it shrinks the cut pool and
+    # throttles heuristics (inf = off, the default — keeps SimEngine
+    # runs deterministic)
+    soft_memory_limit_mb: float = float("inf")
+
     # determinism
     permutation_seed: int = 0
 

@@ -1,0 +1,55 @@
+"""Plugin quarantine: disable misbehaving plugins instead of crashing.
+
+SCIP's answer to a plugin that keeps failing is to switch it off for the
+rest of the solve rather than abort (cf. the numerical-safeguard
+discussion in the SCIP 8.0 report).  :class:`PluginQuarantine` keeps the
+per-plugin failure ledger for :class:`repro.cip.solver.CIPSolver`: every
+*non-essential* callback (presolver, propagator, separator, heuristic,
+event handler) runs inside a containment shim; after
+``params.plugin_max_failures`` recorded exceptions the plugin is
+quarantined and skipped for the remainder of the solve.
+
+Essential plugins — the relaxator and the last surviving branching rule
+— cannot simply be skipped; their failure is surfaced as
+:class:`EssentialPluginFailure` so the solver can degrade to
+``SolveStatus.NUMERICAL_ERROR`` while keeping a valid dual bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import PluginError
+
+
+class EssentialPluginFailure(PluginError):
+    """An essential plugin (relaxator, last branching rule) failed beyond
+    recovery; the solve must degrade, not crash."""
+
+
+@dataclass
+class PluginQuarantine:
+    """Failure ledger + quarantine set, keyed by plugin name."""
+
+    max_failures: int = 3
+    failures: dict[str, int] = field(default_factory=dict)
+    quarantined: set[str] = field(default_factory=set)
+    # last recorded error text per plugin, for diagnostics/tracing
+    last_error: dict[str, str] = field(default_factory=dict)
+
+    def is_quarantined(self, name: str) -> bool:
+        return name in self.quarantined
+
+    def record_failure(self, name: str, exc: BaseException) -> tuple[bool, int]:
+        """Record one failed callback; returns ``(just_tripped, total)``.
+
+        ``just_tripped`` is True exactly once — on the failure that pushes
+        the plugin over ``max_failures`` and into quarantine.
+        """
+        count = self.failures.get(name, 0) + 1
+        self.failures[name] = count
+        self.last_error[name] = f"{type(exc).__name__}: {exc}"
+        tripped = count >= self.max_failures and name not in self.quarantined
+        if tripped:
+            self.quarantined.add(name)
+        return tripped, count

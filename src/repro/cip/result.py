@@ -17,6 +17,9 @@ class SolveStatus(enum.Enum):
     TIME_LIMIT = "time_limit"
     GAP_LIMIT = "gap_limit"
     INTERRUPTED = "interrupted"
+    # an essential plugin (relaxator, last branching rule) failed beyond
+    # recovery: the solve stopped early but its dual bound is still valid
+    NUMERICAL_ERROR = "numerical_error"
     UNKNOWN = "unknown"
 
 

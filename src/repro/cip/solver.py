@@ -33,6 +33,7 @@ from repro.cip.plugins import (
     EventHandler,
     Heuristic,
     Plugin,
+    PropagationResult,
     PropagationStatus,
     Presolver,
     Propagator,
@@ -41,11 +42,14 @@ from repro.cip.plugins import (
     Relaxator,
     Separator,
 )
+from repro.cip.quarantine import EssentialPluginFailure, PluginQuarantine
 from repro.cip.result import SolveResult, SolveStats, SolveStatus, Solution
 from repro.cip.tree import NodeTree
 from repro.exceptions import PluginError
-from repro.lp import LinearProgram, LPStatus, solve_lp
-from repro.utils import DEFAULT_TOL, Stopwatch, Tolerances, make_rng
+from repro.lp import LinearProgram, LPSolution, LPStatus, RobustLPSolver, solve_lp
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+from repro.utils import Budget, DEFAULT_TOL, Stopwatch, Tolerances, make_rng
 
 # deterministic work-unit model (abstract seconds)
 WORK_PER_NODE = 1e-3
@@ -89,6 +93,18 @@ class CIPSolver:
         self.cutpool = CutPool()
         self.incumbent: Solution | None = None
         self.rng = make_rng(self.params.permutation_seed)
+
+        # robustness layer: quarantine ledger, LP failover chain, budget,
+        # observability endpoints (UG attaches its shared tracer here)
+        self.tracer = NULL_TRACER
+        self.trace_rank = 0
+        self.metrics = MetricsRegistry()
+        self.budget = Budget(soft_memory_limit_mb=self.params.soft_memory_limit_mb)
+        self.quarantine = PluginQuarantine(max_failures=self.params.plugin_max_failures)
+        self._robust_lp = RobustLPSolver(self.params.lp_backend)
+        self._degraded: str | None = None  # reason, once an essential plugin failed
+        self._lost_bound = math.inf  # min lower bound over dropped (unresolved) nodes
+        self._heur_throttle = 1  # heuristic frequency multiplier under memory pressure
 
         self._tree: NodeTree | None = None
         self._node_counter = 0
@@ -134,6 +150,99 @@ class CIPSolver:
             raise PluginError("a relaxator is already installed")
         self.relaxator = r
 
+    # -- robustness layer ---------------------------------------------------
+
+    def _emit(self, kind: str, **data: Any) -> None:
+        """Trace a kernel event at the deterministic work clock."""
+        if self.tracer.enabled:
+            self.tracer.emit(self.stats.total_work, kind, self.trace_rank, **data)
+
+    def _record_plugin_failure(self, plugin: Plugin, kind: str, exc: BaseException) -> bool:
+        """Ledger one failed callback; returns True when it trips quarantine."""
+        tripped, count = self.quarantine.record_failure(plugin.name, exc)
+        self.stats.bump("plugin_failures")
+        self.metrics.inc("plugin_failures")
+        self._emit(
+            "plugin_failure",
+            plugin=plugin.name,
+            callback=kind,
+            error=f"{type(exc).__name__}: {exc}",
+            failures=count,
+        )
+        if tripped:
+            self.stats.bump("plugins_quarantined")
+            self.metrics.inc("plugins_quarantined")
+            self._emit("plugin_quarantined", plugin=plugin.name, callback=kind, failures=count)
+        return tripped
+
+    def _guarded(self, plugin: Plugin, kind: str, default: Any, call: Callable[[], Any]) -> Any:
+        """Containment shim for non-essential plugin callbacks.
+
+        A quarantined plugin is skipped outright; an exception is recorded
+        (quarantining the plugin after ``params.plugin_max_failures``) and
+        replaced by ``default`` — the solve continues without the plugin's
+        contribution, which is always sound for optional callbacks.
+        """
+        if self.quarantine.is_quarantined(plugin.name):
+            return default
+        try:
+            return call()
+        except Exception as exc:
+            self._record_plugin_failure(plugin, kind, exc)
+            return default
+
+    def _degrade(self, reason: str, node: Node | None = None) -> None:
+        """Mark the solve degraded by an essential-plugin failure.
+
+        The search stops at the next :meth:`step` with
+        ``SolveStatus.NUMERICAL_ERROR``; dropping ``node`` caps the
+        reported dual bound so it stays valid for the unexplored part.
+        """
+        if node is not None:
+            self._lost_bound = min(self._lost_bound, node.lower_bound)
+        if self._degraded is None:
+            self._degraded = reason
+            self.stats.bump("numerical_degradations")
+            self.metrics.inc("numerical_degradations")
+            self._emit("solver_degraded", reason=reason)
+
+    def _note_budget_stop(self, scope: str) -> None:
+        self.stats.bump("budget_stops")
+        self.metrics.inc("budget_stops")
+        self._emit("budget_exhausted", scope=scope)
+
+    def _relieve_memory_pressure(self) -> None:
+        """Graceful degradation above the soft-memory ceiling: shed the
+        cut pool (cuts are regenerable) and halve heuristic frequency."""
+        evicted = self.cutpool.shrink(0.5)
+        self._heur_throttle = min(self._heur_throttle * 2, 64)
+        self.stats.bump("memory_pressure_events")
+        self.metrics.inc("memory_pressure_events")
+        self._emit("memory_pressure", cuts_evicted=evicted, heur_throttle=self._heur_throttle)
+
+    def solve_lp_robust(self, lp: LinearProgram, **kwargs: Any) -> LPSolution:
+        """Solve an LP through the failover chain (plain → scaled →
+        perturbed → switched backend), honoring the solve budget.
+
+        Public: plugin relaxators and heuristics should route their
+        auxiliary LPs here instead of calling ``solve_lp`` directly, so
+        they inherit failover and deadline enforcement.
+        """
+        budget = self.budget if self.budget.limited else None
+        if not self.params.lp_failover:
+            return solve_lp(lp, self.params.lp_backend, budget=budget, **kwargs)
+        self._robust_lp.budget = budget
+        sol = self._robust_lp.solve(lp, **kwargs)
+        if len(sol.attempts) > 1:
+            self.stats.bump("lp_failovers")
+            self.metrics.inc("lp_failovers")
+            self._emit(
+                "lp_failover",
+                path=[f"{a.backend}/{a.strategy}:{a.status.value}" for a in sol.attempts],
+                status=sol.status.value,
+            )
+        return sol
+
     # -- presolve ------------------------------------------------------------
 
     def presolve(self) -> int:
@@ -149,7 +258,7 @@ class CIPSolver:
         for _round in range(20):
             round_reductions = 0
             for pre in self.presolvers:
-                round_reductions += pre.presolve(self)
+                round_reductions += self._guarded(pre, "presolve", 0, lambda p=pre: p.presolve(self))
             total += round_reductions
             if round_reductions == 0:
                 break
@@ -186,13 +295,13 @@ class CIPSolver:
         if check and x is not None:
             if not self.model.check_linear(x, self.tol.feas):
                 return False
-            if not all(h.check(self, x) for h in self.conshdlrs):
+            if not self._check_candidate(x):
                 return False
         self.incumbent = Solution(value, None if x is None else np.asarray(x, dtype=float).copy(), data)
         if self._tree is not None:
             self.stats.nodes_pruned += self._tree.prune_worse_than(self.cutoff_bound)
         for ev in self.event_handlers:
-            ev.on_new_incumbent(self, value, data)
+            self._guarded(ev, "on_new_incumbent", None, lambda e=ev: e.on_new_incumbent(self, value, data))
         return True
 
     def set_cutoff_value(self, value: float) -> None:
@@ -249,6 +358,7 @@ class CIPSolver:
         root = Node(0, -1, 0, root_estimate, dict(root_bounds or {}), dict(root_local_data or {}))
         self._node_counter = 1
         self._tree.push(root)
+        self.stats.nodes_created += 1  # the root, counted once per tree
         self._processed_any = False
         self._root_processed = False
 
@@ -256,16 +366,36 @@ class CIPSolver:
         return 0 if self._tree is None else len(self._tree)
 
     def dual_bound(self) -> float:
-        """Global dual (lower) bound of the current search state."""
+        """Global dual (lower) bound of the current search state.
+
+        Dropped (unresolved) subtrees cap the bound: whatever proof the
+        explored tree carries, the lost part may still hide solutions down
+        to ``_lost_bound``.  The bound never exceeds the incumbent value.
+        """
         if self._tree is None:
             return -math.inf
-        bounds = [self._tree.best_bound()]
+        bounds = [self._tree.best_bound(), self._lost_bound]
         if self._current_node is not None:
             bounds.append(self._current_node.lower_bound)
         bound = min(bounds)
-        if math.isinf(bound) and bound > 0:  # tree empty: proven
+        if math.isinf(bound) and bound > 0:  # tree empty, nothing lost: proven
             return self.incumbent.value if self.incumbent is not None else math.inf
+        if self.incumbent is not None:
+            bound = min(bound, self.incumbent.value)
         return bound
+
+    def _final_status(self) -> SolveStatus:
+        """Status once the tree is exhausted, honoring completeness holes.
+
+        With unresolved nodes dropped below the incumbent value, neither
+        OPTIMAL nor INFEASIBLE can be claimed (the lost subtree may hide a
+        better solution) — same contract as UG's abandoned racing subtrees.
+        """
+        if self.incumbent is None:
+            return SolveStatus.UNKNOWN if math.isfinite(self._lost_bound) else SolveStatus.INFEASIBLE
+        if math.isfinite(self._lost_bound) and self.incumbent.value > self._lost_bound + self.tol.eps:
+            return SolveStatus.UNKNOWN
+        return SolveStatus.OPTIMAL
 
     def extract_open_node(self) -> Node | None:
         """Remove the heaviest open node (UG load balancing)."""
@@ -289,6 +419,10 @@ class CIPSolver:
         """Process one branch-and-bound node; returns what happened."""
         if self._tree is None:
             raise PluginError("setup() must be called before step()")
+        if self._degraded is not None:
+            return StepOutcome(True, SolveStatus.NUMERICAL_ERROR, 0.0)
+        if self.budget.memory_pressure():
+            self._relieve_memory_pressure()
         work = 0.0
         new_solution: Solution | None = None
         cutoff = self.cutoff_bound
@@ -300,8 +434,7 @@ class CIPSolver:
                 continue
             break
         else:
-            status = SolveStatus.OPTIMAL if self.incumbent is not None else SolveStatus.INFEASIBLE
-            return StepOutcome(True, status, 0.0)
+            return StepOutcome(True, self._final_status(), 0.0)
 
         self._current_node = node
         is_root = not self._root_processed
@@ -321,9 +454,12 @@ class CIPSolver:
         if self.incumbent is not incumbent_before:
             new_solution = self.incumbent
 
+        if self._degraded is not None:
+            # essential-plugin failure during this node: stop with a valid
+            # dual bound instead of propagating the crash
+            return StepOutcome(True, SolveStatus.NUMERICAL_ERROR, work, new_solution)
         if not self._tree:
-            status = SolveStatus.OPTIMAL if self.incumbent is not None else SolveStatus.INFEASIBLE
-            return StepOutcome(True, status, work, new_solution)
+            return StepOutcome(True, self._final_status(), work, new_solution)
         if self.incumbent is not None:
             gap = self.tol.rel_gap(self.incumbent.value, self.dual_bound())
             if gap <= self.params.gap_limit:
@@ -350,13 +486,17 @@ class CIPSolver:
         for _round in range(5):
             changed = False
             for prop in self.propagators:
-                res = prop.propagate(self, node)
+                res = self._guarded(
+                    prop, "propagate", PropagationResult(), lambda p=prop: p.propagate(self, node)
+                )
                 if res.status is PropagationStatus.INFEASIBLE:
                     return PropagationStatus.INFEASIBLE
                 if res.status is PropagationStatus.REDUCED:
                     changed = True
             for h in self.conshdlrs:
-                res = h.propagate(self, node)
+                res = self._guarded(
+                    h, "propagate", PropagationResult(), lambda p=h: p.propagate(self, node)
+                )
                 if res.status is PropagationStatus.INFEASIBLE:
                     return PropagationStatus.INFEASIBLE
                 if res.status is PropagationStatus.REDUCED:
@@ -387,11 +527,20 @@ class CIPSolver:
 
     def _solve_relaxation(self, node: Node, is_root: bool) -> RelaxationResult:
         if self.relaxator is not None:
-            res = self.relaxator.solve(self, node)
+            # the relaxator is essential: its exceptions are contained, but
+            # tripping quarantine degrades the whole solve (there is no
+            # substitute bounding oracle to fall back on)
+            try:
+                res = self.relaxator.solve(self, node)
+            except Exception as exc:
+                if self._record_plugin_failure(self.relaxator, "relax", exc):
+                    self._degrade("relaxator")
+                self.stats.lp_solves += 1
+                return RelaxationResult(RelaxationStatus.FAILED, -math.inf, None, WORK_PER_NODE)
             self.stats.lp_solves += 1
             return res
         lp = self._build_lp()
-        sol = solve_lp(lp, self.params.lp_backend)
+        sol = self.solve_lp_robust(lp)
         self.stats.lp_solves += 1
         self.stats.lp_iterations += sol.iterations
         work = WORK_PER_LP_ITER * max(sol.iterations, 1)
@@ -399,7 +548,12 @@ class CIPSolver:
             return RelaxationResult(RelaxationStatus.INFEASIBLE, math.inf, None, work)
         if sol.status is LPStatus.UNBOUNDED:
             return RelaxationResult(RelaxationStatus.UNBOUNDED, -math.inf, None, work)
+        if sol.status is LPStatus.TIME_LIMIT:
+            self._note_budget_stop("relaxation")
+            return RelaxationResult(RelaxationStatus.FAILED, -math.inf, None, work)
         if sol.status is not LPStatus.OPTIMAL:
+            # the whole failover chain surrendered: relaxation unavailable,
+            # the node is still resolved by branching on the raw problem
             return RelaxationResult(RelaxationStatus.FAILED, -math.inf, None, work)
         bound = sol.objective + self.model.obj_offset
         return RelaxationResult(RelaxationStatus.OPTIMAL, bound, sol.x, work)
@@ -417,7 +571,7 @@ class CIPSolver:
             sep = getattr(plugin, "separate", None)
             if sep is None:
                 continue
-            cuts = sep(self, node, x)
+            cuts = self._guarded(plugin, "separate", (), lambda s=sep: s(self, node, x))
             for cut in cuts:
                 if added >= budget:
                     break
@@ -439,23 +593,47 @@ class CIPSolver:
         return frac
 
     def _check_candidate(self, x: np.ndarray) -> bool:
-        return all(h.check(self, x) for h in self.conshdlrs)
+        # check() is the feasibility gate: it is never skipped by
+        # quarantine, and a crashing check conservatively rejects the
+        # candidate (accepting an unverified point could corrupt the
+        # incumbent, rejecting only costs a solution)
+        for h in self.conshdlrs:
+            try:
+                ok = h.check(self, x)
+            except Exception as exc:
+                self._record_plugin_failure(h, "check", exc)
+                return False
+            if not ok:
+                return False
+        return True
 
     def _run_heuristics(self, node: Node, x: np.ndarray | None, is_root: bool) -> None:
-        freq = self.params.heur_frequency
+        freq = self.params.heur_frequency * self._heur_throttle
         if not self.params.heuristics or freq <= 0:
             return
         if not is_root and self.stats.nodes_processed % freq != 0:
             return
+        if self.budget.time_exceeded():
+            self._note_budget_stop("heuristics")
+            return
         for heur in self.heuristics:
-            heur.run(self, node, x)
+            self._guarded(heur, "run", None, lambda h=heur: h.run(self, node, x))
 
     def _branch(self, node: Node, x: np.ndarray | None) -> int:
         rules = self.branching_rules
         if self.params.branching_rule:
             rules = [r for r in rules if r.name == self.params.branching_rule] or rules
+        failed = 0
         for rule in rules:
-            children = rule.branch(self, node, x)
+            if self.quarantine.is_quarantined(rule.name):
+                failed += 1
+                continue
+            try:
+                children = rule.branch(self, node, x)
+            except Exception as exc:
+                failed += 1
+                self._record_plugin_failure(rule, "branch", exc)
+                continue
             if children:
                 assert self._tree is not None
                 n_pushed = 0
@@ -476,6 +654,10 @@ class CIPSolver:
                         self.stats.nodes_pruned += 1
                 self.stats.nodes_created += n_pushed
                 return n_pushed
+        if rules and failed == len(rules):
+            # branching is essential: when the *last* usable rule fails by
+            # exception/quarantine the node cannot be split at all
+            raise EssentialPluginFailure("every branching rule failed; cannot split the node")
         raise PluginError("no branching rule produced children for an unresolved node")
 
     def _process_node(self, node: Node, is_root: bool) -> float:
@@ -511,6 +693,10 @@ class CIPSolver:
             assert x is not None
             if rounds >= max_rounds:
                 break
+            if self.budget.time_exceeded():
+                # deadline hit mid-cut-loop: keep the bound proved so far
+                self._note_budget_stop("cut_loop")
+                break
             n_cuts, sep_work = self._separate(node, x, is_root)
             work += sep_work
             rounds += 1
@@ -521,7 +707,7 @@ class CIPSolver:
                 break
 
         for ev in self.event_handlers:
-            ev.on_node_solved(self, node, bound)
+            self._guarded(ev, "on_node_solved", None, lambda e=ev: e.on_node_solved(self, node, bound))
 
         if x is not None:
             # lazy-constraint loop: an integral relaxation point rejected by
@@ -564,15 +750,28 @@ class CIPSolver:
             return work
         try:
             self._branch(node, x)
+        except EssentialPluginFailure:
+            # the last usable branching rule failed by exception: the solve
+            # degrades to NUMERICAL_ERROR; the dropped node caps the bound
+            self._drop_node(node)
+            self._degrade("branching_rule", node)
         except PluginError:
             # No rule can split this node (relaxation failed with nothing
             # to branch on, or a constraint handler rejected an integral
             # point that no cut and no spatial split can resolve). Dropping
-            # it risks losing solutions in this subtree — record it loudly
-            # rather than crash the whole search.
-            self.stats.bump("unresolved_nodes")
-            self.stats.nodes_pruned += 1
+            # it risks losing solutions in this subtree — record it loudly,
+            # cap the reported dual bound by the dropped subtree's bound,
+            # and forfeit any optimality claim rather than crash or lie.
+            self._drop_node(node)
         return work
+
+    def _drop_node(self, node: Node) -> None:
+        """Account for a node pruned without proof (unresolved)."""
+        self._lost_bound = min(self._lost_bound, node.lower_bound)
+        self.stats.bump("unresolved_nodes")
+        self.stats.nodes_pruned += 1
+        self.metrics.inc("unresolved_nodes")
+        self._emit("node_unresolved", node=node.node_id, bound=node.lower_bound)
 
     # -- convenience driver -----------------------------------------------------
 
@@ -581,14 +780,28 @@ class CIPSolver:
         node_limit: int | None = None,
         time_limit: float | None = None,
         callback: Callable[["CIPSolver"], bool] | None = None,
+        budget: Budget | None = None,
     ) -> SolveResult:
         """Run to completion (or to a limit) and return the result.
 
         ``callback`` is invoked after every node; returning False
         interrupts the solve (UG termination, racing deadline...).
+        ``budget`` overrides the internally constructed one (custom
+        clock/RSS probes for tests, shared budgets for UG); either way it
+        is threaded into the LP/relaxation inner loops, so a deadline is
+        honored mid-relaxation, not only between nodes.
         """
         node_limit = node_limit if node_limit is not None else self.params.node_limit
         time_limit = time_limit if time_limit is not None else self.params.time_limit
+        if budget is None:
+            budget = Budget(
+                time_limit=time_limit,
+                node_limit=node_limit,
+                soft_memory_limit_mb=self.params.soft_memory_limit_mb,
+            )
+        if not budget.started:
+            budget.start()
+        self.budget = budget
         self._clock.reset()
         self._clock.start()
         if self._tree is None:
@@ -599,10 +812,12 @@ class CIPSolver:
             if outcome.finished:
                 status = outcome.status
                 break
-            if self.stats.nodes_processed >= node_limit:
+            if self.stats.nodes_processed >= node_limit or self.budget.nodes_exceeded(
+                self.stats.nodes_processed
+            ):
                 status = SolveStatus.NODE_LIMIT
                 break
-            if self._clock.elapsed >= time_limit:
+            if self._clock.elapsed >= time_limit or self.budget.time_exceeded():
                 status = SolveStatus.TIME_LIMIT
                 break
             if callback is not None and not callback(self):
@@ -612,5 +827,4 @@ class CIPSolver:
         dual = self.dual_bound()
         if status is SolveStatus.OPTIMAL and self.incumbent is not None:
             dual = self.incumbent.value
-        self.stats.nodes_created += 1  # count the root
         return SolveResult(status, self.incumbent, dual, self.stats.nodes_processed, self.stats)

@@ -1,4 +1,10 @@
-"""Backend-dispatching LP solve entry point."""
+"""Backend-dispatching LP solve entry point.
+
+Every backend reports through the shared :class:`repro.lp.model.LPStatus`
+classification — backend-specific strings and exceptions never escape
+this module (an unknown *backend name* still raises, that is a caller
+bug, not a numerical event).
+"""
 
 from __future__ import annotations
 
@@ -8,14 +14,21 @@ from repro.lp.model import LinearProgram, LPSolution
 _BACKENDS = ("highs", "simplex")
 
 
-def solve_lp(lp: LinearProgram, backend: str = "highs", **kwargs: object) -> LPSolution:
-    """Solve ``lp`` with the named backend (``"highs"`` or ``"simplex"``)."""
+def solve_lp(
+    lp: LinearProgram, backend: str = "highs", budget=None, **kwargs: object
+) -> LPSolution:
+    """Solve ``lp`` with the named backend (``"highs"`` or ``"simplex"``).
+
+    ``budget`` (duck-typed :class:`repro.utils.budget.Budget`) threads a
+    deadline into the backend's inner loop; both backends return
+    ``LPStatus.TIME_LIMIT`` when it expires mid-solve.
+    """
     if backend == "highs":
         from repro.lp.scipy_backend import solve_with_scipy
 
-        return solve_with_scipy(lp)
+        return solve_with_scipy(lp, budget=budget)
     if backend == "simplex":
         from repro.lp.simplex import solve_with_simplex
 
-        return solve_with_simplex(lp, **kwargs)  # type: ignore[arg-type]
+        return solve_with_simplex(lp, budget=budget, **kwargs)  # type: ignore[arg-type]
     raise LPError(f"unknown LP backend {backend!r}; choose from {_BACKENDS}")

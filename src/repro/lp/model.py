@@ -20,13 +20,30 @@ INF = math.inf
 
 
 class LPStatus(enum.Enum):
-    """Termination status of an LP solve."""
+    """Termination status of an LP solve.
+
+    Both backends report through this one enum — numerical failure is a
+    status (ERROR), never a backend-specific exception, so callers can
+    classify and recover uniformly.
+    """
 
     OPTIMAL = "optimal"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ITERATION_LIMIT = "iteration_limit"
+    TIME_LIMIT = "time_limit"
     ERROR = "error"
+
+
+@dataclass(frozen=True)
+class LPAttempt:
+    """One link of a failover chain: which backend, which recovery
+    strategy (``plain`` / ``scaled`` / ``perturbed`` / ``switched``),
+    and how that attempt ended."""
+
+    backend: str
+    strategy: str
+    status: LPStatus
 
 
 @dataclass
@@ -48,7 +65,11 @@ class LPSolution:
     reduced_costs:
         One reduced cost per column, ``c - A' duals``.
     iterations:
-        Simplex iterations (or backend-reported iteration count).
+        Simplex iterations (or backend-reported iteration count); when a
+        failover chain ran, the sum over all attempts.
+    attempts:
+        The failover path taken (empty for a plain single-backend solve
+        that needed no recovery).
     """
 
     status: LPStatus
@@ -57,6 +78,7 @@ class LPSolution:
     duals: np.ndarray
     reduced_costs: np.ndarray
     iterations: int = 0
+    attempts: list[LPAttempt] = field(default_factory=list)
 
 
 @dataclass

@@ -1,0 +1,180 @@
+"""LP failover chain: recover from numerical failure instead of crashing.
+
+Production SCIP classifies LP-solver failures and retries with modified
+settings (scaling, perturbation, a different solver) before it ever gives
+up on a node's relaxation.  :class:`RobustLPSolver` reproduces that chain
+for the two backends here:
+
+1. **plain** — the primary backend, untouched.
+2. **scaled** — Curtis–Reid-style row/column equilibration applied to a
+   copy of the LP; the solution is mapped back to the original space
+   (``x = s · x'``, ``y_i = r_i · y'_i``, ``rc_j = rc'_j / s_j``).
+3. **perturbed** — finite variable bounds pushed *outward* by a tiny
+   relative amount.  This is a relaxation of the original LP, so for a
+   minimisation problem its optimum remains a valid dual bound — exactly
+   what the branch-and-bound loop consumes.
+4. **switched** — the other backend (highs ↔ simplex), plain.
+
+Escalation happens only on ``ERROR`` / ``ITERATION_LIMIT``.  Terminal
+statuses (OPTIMAL, INFEASIBLE, UNBOUNDED) stop the chain, and so does
+``TIME_LIMIT`` — burning the remaining budget on retries would defeat
+the deadline.  If every link fails, the last solution (a safe
+non-raising status) is returned and the CIP loop converts it into
+"relaxation unavailable, branch anyway".
+
+The failover path is recorded on ``LPSolution.attempts`` so callers
+(and the `repro.obs` trace) can see exactly which links ran.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.lp.interface import solve_lp
+from repro.lp.model import INF, LinearProgram, LPAttempt, LPSolution, LPStatus
+
+# statuses that end the chain immediately (the answer is trustworthy or
+# retrying cannot help within budget)
+_TERMINAL = frozenset(
+    {LPStatus.OPTIMAL, LPStatus.INFEASIBLE, LPStatus.UNBOUNDED, LPStatus.TIME_LIMIT}
+)
+
+_OTHER_BACKEND = {"highs": "simplex", "simplex": "highs"}
+
+
+def _equilibrate(lp: LinearProgram) -> tuple[LinearProgram, np.ndarray, np.ndarray]:
+    """Return a row/column-equilibrated copy plus the (row, col) scale vectors.
+
+    Row i of the scaled LP is ``r_i * A_i``, column j is further scaled by
+    ``s_j``; objective and bounds transform consistently so the scaled LP
+    is the original under the substitution ``x = s · x'``.
+    """
+    c, A, lhs, rhs, lb, ub = lp.to_arrays()
+    m, n = A.shape
+    row_s = np.ones(m)
+    for i in range(m):
+        mx = np.max(np.abs(A[i])) if n else 0.0
+        if mx > 0 and math.isfinite(mx):
+            row_s[i] = 1.0 / mx
+    As = A * row_s[:, None] if m else A
+    col_s = np.ones(n)
+    for j in range(n):
+        mx = np.max(np.abs(As[:, j])) if m else 0.0
+        if mx > 0 and math.isfinite(mx):
+            col_s[j] = 1.0 / mx
+
+    scaled = LinearProgram()
+    for j in range(n):
+        # x_j = col_s[j] * x'_j  =>  bounds and objective divide/multiply
+        s = col_s[j]
+        new_lb = lb[j] / s if lb[j] > -INF else -INF
+        new_ub = ub[j] / s if ub[j] < INF else INF
+        scaled.add_variable(lb=new_lb, ub=new_ub, obj=c[j] * s)
+    for i in range(m):
+        coefs = {j: As[i, j] * col_s[j] for j in range(n) if As[i, j] != 0.0}
+        new_lhs = lhs[i] * row_s[i] if lhs[i] > -INF else -INF
+        new_rhs = rhs[i] * row_s[i] if rhs[i] < INF else INF
+        scaled.add_row(coefs, lhs=new_lhs, rhs=new_rhs)
+    return scaled, row_s, col_s
+
+
+def _unscale(sol: LPSolution, row_s: np.ndarray, col_s: np.ndarray) -> LPSolution:
+    """Map an OPTIMAL solution of the scaled LP back to original space."""
+    x = sol.x * col_s if sol.x.size else sol.x
+    duals = sol.duals * row_s if sol.duals.size else sol.duals
+    reduced = sol.reduced_costs / col_s if sol.reduced_costs.size else sol.reduced_costs
+    return LPSolution(sol.status, x, sol.objective, duals, reduced, sol.iterations)
+
+
+def _perturb(lp: LinearProgram, eps: float) -> LinearProgram:
+    """Copy of ``lp`` with finite variable bounds pushed outward by ``eps``
+    relatively — a relaxation, so the optimum stays a valid dual bound."""
+    c, A, lhs, rhs, lb, ub = lp.to_arrays()
+    m, n = A.shape
+    out = LinearProgram()
+    for j in range(n):
+        new_lb = lb[j] - eps * (1.0 + abs(lb[j])) if lb[j] > -INF else -INF
+        new_ub = ub[j] + eps * (1.0 + abs(ub[j])) if ub[j] < INF else INF
+        out.add_variable(lb=new_lb, ub=new_ub, obj=c[j])
+    for i in range(m):
+        coefs = {j: A[i, j] for j in range(n) if A[i, j] != 0.0}
+        out.add_row(coefs, lhs=lhs[i], rhs=rhs[i])
+    return out
+
+
+class RobustLPSolver:
+    """Escalating LP solve: plain → scaled → perturbed → switched backend.
+
+    Parameters
+    ----------
+    backend:
+        Primary backend name (``"highs"`` or ``"simplex"``).
+    perturbation:
+        Relative outward bound shift used by the ``perturbed`` link.
+    budget:
+        Optional duck-typed :class:`repro.utils.budget.Budget`; checked
+        between links (a deadline stops escalation) and threaded into
+        every backend call.
+    """
+
+    def __init__(self, backend: str = "highs", perturbation: float = 1e-6, budget=None) -> None:
+        self.backend = backend
+        self.perturbation = perturbation
+        self.budget = budget
+
+    def solve(self, lp: LinearProgram, **kwargs: object) -> LPSolution:
+        """Run the chain on ``lp``; extra kwargs go to primary-backend links."""
+        attempts: list[LPAttempt] = []
+        iterations = 0
+
+        def run(backend: str, strategy: str, problem: LinearProgram, **kw: object) -> LPSolution:
+            nonlocal iterations
+            sol = solve_lp(problem, backend, budget=self.budget, **kw)
+            iterations += sol.iterations
+            attempts.append(LPAttempt(backend, strategy, sol.status))
+            return sol
+
+        def finish(sol: LPSolution) -> LPSolution:
+            sol.iterations = iterations
+            sol.attempts = attempts
+            return sol
+
+        # 1. plain
+        sol = run(self.backend, "plain", lp, **kwargs)
+        if sol.status in _TERMINAL:
+            return finish(sol)
+
+        # 2. scaled re-solve
+        if self.budget is None or not self.budget.time_exceeded():
+            scaled, row_s, col_s = _equilibrate(lp)
+            sol2 = run(self.backend, "scaled", scaled, **kwargs)
+            if sol2.status is LPStatus.OPTIMAL:
+                return finish(_unscale(sol2, row_s, col_s))
+            if sol2.status in _TERMINAL:
+                return finish(sol2)
+            sol = sol2
+
+        # 3. perturbed bounds (a relaxation: bound stays valid)
+        if self.budget is None or not self.budget.time_exceeded():
+            sol3 = run(self.backend, "perturbed", _perturb(lp, self.perturbation), **kwargs)
+            if sol3.status in _TERMINAL:
+                return finish(sol3)
+            sol = sol3
+
+        # 4. switch backend (default settings — primary kwargs may not apply)
+        if self.budget is None or not self.budget.time_exceeded():
+            other = _OTHER_BACKEND.get(self.backend)
+            if other is not None:
+                sol4 = run(other, "switched", lp)
+                if sol4.status in _TERMINAL:
+                    return finish(sol4)
+                sol = sol4
+
+        # surrender with the last (safe, non-raising) status; a deadline
+        # that expired mid-chain is reported as TIME_LIMIT so the caller
+        # accounts a budget stop, not a numerical failure
+        if self.budget is not None and self.budget.time_exceeded():
+            sol.status = LPStatus.TIME_LIMIT
+        return finish(sol)

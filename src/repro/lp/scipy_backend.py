@@ -13,7 +13,6 @@ import math
 import numpy as np
 from scipy.optimize import linprog
 
-from repro.exceptions import LPError
 from repro.lp.model import LinearProgram, LPSolution, LPStatus
 
 _STATUS_MAP = {
@@ -25,8 +24,14 @@ _STATUS_MAP = {
 }
 
 
-def solve_with_scipy(lp: LinearProgram) -> LPSolution:
-    """Solve ``lp`` with HiGHS; returns primal, row duals and reduced costs."""
+def solve_with_scipy(lp: LinearProgram, budget=None) -> LPSolution:
+    """Solve ``lp`` with HiGHS; returns primal, row duals and reduced costs.
+
+    ``budget`` (duck-typed :class:`repro.utils.budget.Budget`) maps onto
+    HiGHS's native ``time_limit`` option, so a deadline interrupts the
+    solve inside the backend.  Backend failure (status 4) is reported as
+    ``LPStatus.ERROR`` — never raised.
+    """
     c, A, lhs, rhs, lb, ub = lp.to_arrays()
     n, m = lp.num_cols, lp.num_rows
 
@@ -61,10 +66,22 @@ def solve_with_scipy(lp: LinearProgram) -> LPSolution:
     b_eq = np.asarray(eq_rhs) if eq_rhs else None
     bounds = [(None if math.isinf(lb[j]) else lb[j], None if math.isinf(ub[j]) else ub[j]) for j in range(n)]
 
-    res = linprog(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq, bounds=bounds, method="highs")
+    options = None
+    if budget is not None and budget.has_deadline:
+        remaining = budget.remaining_time()
+        if remaining <= 0.0:
+            empty = np.zeros(0)
+            return LPSolution(LPStatus.TIME_LIMIT, empty, math.nan, empty, empty, 0)
+        options = {"time_limit": remaining}
+
+    res = linprog(
+        c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq, bounds=bounds, method="highs", options=options
+    )
     status = _STATUS_MAP.get(res.status, LPStatus.ERROR)
-    if status is LPStatus.ERROR:
-        raise LPError(f"HiGHS failed: {res.message}")
+    if status is LPStatus.ITERATION_LIMIT and budget is not None and budget.time_exceeded():
+        # linprog reports both the iteration cap and the time limit as
+        # status 1; disambiguate via the budget clock.
+        status = LPStatus.TIME_LIMIT
     if status is not LPStatus.OPTIMAL:
         empty = np.zeros(0)
         return LPSolution(status, empty, math.nan, empty, empty, int(res.nit or 0))

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.linalg as sla
 
-from repro.exceptions import LPError
 from repro.lp.model import LinearProgram, LPSolution, LPStatus
 
 _AT_LOWER = 0
@@ -97,22 +96,27 @@ class _SimplexCore:
         x: np.ndarray,
         max_iter: int,
         forbidden: np.ndarray | None = None,
+        budget=None,
     ) -> tuple[str, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Iterate to optimality; returns (result, basis, status, x, duals).
 
         ``forbidden`` marks columns (artificials in phase 2) that must not
-        re-enter the basis.
+        re-enter the basis.  ``budget`` (duck-typed, see
+        :class:`repro.utils.budget.Budget`) is consulted every iteration
+        so a deadline interrupts the solve within one pivot.
         """
         A, lb, ub, m = self.A, self.lb, self.ub, self.m
         degen_streak = 0
         y = np.zeros(m)
         for _ in range(max_iter):
+            if budget is not None and budget.time_exceeded():
+                return "time_limit", basis, status, x, y
             self.iterations += 1
             B = A[:, basis]
             try:
                 lu = sla.lu_factor(B)
-            except (ValueError, sla.LinAlgError) as exc:  # pragma: no cover
-                raise LPError(f"singular basis: {exc}") from exc
+            except (ValueError, sla.LinAlgError):
+                return "error", basis, status, x, y
             # primal values of basic variables
             rhs = self.b - A @ x + B @ x[basis]
             xb = sla.lu_solve(lu, rhs)
@@ -192,8 +196,25 @@ class _SimplexCore:
         return "iteration_limit", basis, status, x, y
 
 
-def solve_with_simplex(lp: LinearProgram, max_iter: int = 20000) -> LPSolution:
-    """Solve ``lp`` with the built-in revised simplex."""
+_LIMIT_STATUSES = {
+    "iteration_limit": LPStatus.ITERATION_LIMIT,
+    "time_limit": LPStatus.TIME_LIMIT,
+    "error": LPStatus.ERROR,
+}
+
+
+def _abort(result: str, iterations: int) -> LPSolution:
+    empty = np.zeros(0)
+    return LPSolution(_LIMIT_STATUSES[result], empty, math.nan, empty, empty, iterations)
+
+
+def solve_with_simplex(lp: LinearProgram, max_iter: int = 20000, budget=None) -> LPSolution:
+    """Solve ``lp`` with the built-in revised simplex.
+
+    Numerical failure (singular basis, infeasible final point) is
+    reported as ``LPStatus.ERROR`` — never raised — so the failover
+    chain above can classify and recover.
+    """
     comp = _to_computational(lp)
     m, n_total = comp.A.shape
     n_struct = comp.n_structural
@@ -225,9 +246,9 @@ def solve_with_simplex(lp: LinearProgram, max_iter: int = 20000) -> LPSolution:
     basis = np.arange(n_total, n_total + m)
 
     core = _SimplexCore(A1, comp.b, lb1, ub1)
-    result, basis, status1, x1, _ = core.run(c1, basis, status1, x1, max_iter)
-    if result == "iteration_limit":
-        return LPSolution(LPStatus.ITERATION_LIMIT, np.zeros(0), math.nan, np.zeros(0), np.zeros(0), core.iterations)
+    result, basis, status1, x1, _ = core.run(c1, basis, status1, x1, max_iter, budget=budget)
+    if result in _LIMIT_STATUSES:
+        return _abort(result, core.iterations)
     phase1_obj = float(c1 @ x1)
     if phase1_obj > 1e-7:
         return LPSolution(LPStatus.INFEASIBLE, np.zeros(0), math.nan, np.zeros(0), np.zeros(0), core.iterations)
@@ -242,9 +263,11 @@ def solve_with_simplex(lp: LinearProgram, max_iter: int = 20000) -> LPSolution:
     for j in range(n_total, n_total + m):
         if status1[j] != _BASIC:
             status1[j] = _AT_LOWER
-    result, basis, status1, x1, y = core.run(c2, basis, status1, x1, max_iter, forbidden=forbidden)
-    if result == "iteration_limit":
-        return LPSolution(LPStatus.ITERATION_LIMIT, np.zeros(0), math.nan, np.zeros(0), np.zeros(0), core.iterations)
+    result, basis, status1, x1, y = core.run(
+        c2, basis, status1, x1, max_iter, forbidden=forbidden, budget=budget
+    )
+    if result in _LIMIT_STATUSES:
+        return _abort(result, core.iterations)
     if result == "unbounded":
         return LPSolution(LPStatus.UNBOUNDED, np.zeros(0), math.nan, np.zeros(0), np.zeros(0), core.iterations)
 
@@ -256,5 +279,5 @@ def solve_with_simplex(lp: LinearProgram, max_iter: int = 20000) -> LPSolution:
     c_orig, A_orig, _, _, _, _ = lp.to_arrays()
     reduced = c_orig - A_orig.T @ duals if lp.num_rows else c_orig.copy()
     if not lp.is_feasible(x_struct, tol=1e-6):
-        raise LPError("simplex returned an infeasible point; numerical failure")
+        return _abort("error", core.iterations)
     return LPSolution(LPStatus.OPTIMAL, x_struct.copy(), obj, duals, reduced, core.iterations)

@@ -42,7 +42,7 @@ _BIG_BOUND = 1e6
 class SDPResult:
     """Outcome of an SDP relaxation solve."""
 
-    status: str  # "optimal" | "infeasible" | "failed"
+    status: str  # "optimal" | "infeasible" | "failed" | "time_limit"
     objective: float  # b'y (sup sense)
     y: np.ndarray | None
     iterations: int
@@ -112,11 +112,15 @@ def solve_sdp_relaxation(
     penalty: bool = False,
     penalty_gamma: float = 1e4,
     over_relaxation: float = 1.6,
+    budget=None,
 ) -> SDPResult:
     """Solve the continuous relaxation under (possibly tightened) bounds.
 
     Infinite bounds are replaced by +-1e6 box bounds so the y-step stays
     well-posed (documented substitution for interior-point regularity).
+    ``budget`` (duck-typed :class:`repro.utils.budget.Budget`) is checked
+    every iteration; an expired deadline returns ``"time_limit"`` within
+    one ADMM iteration instead of running to ``max_iter``.
     """
     m = misdp.num_vars
     lb = misdp.lb if lb is None else np.asarray(lb, dtype=float)
@@ -184,7 +188,11 @@ def solve_sdp_relaxation(
     )
     prim_res = dual_res = math.inf
     it = 0
+    timed_out = False
     for it in range(1, max_iter + 1):
+        if budget is not None and budget.time_exceeded():
+            timed_out = True
+            break
         # y-step: rho G y = b + rho A'(c - s - x/rho) summed over cones
         rhs = b.copy()
         if len(c_s):
@@ -231,6 +239,8 @@ def solve_sdp_relaxation(
 
     converged = prim_res < 1e-5 and dual_res < 1e-4
     obj = float(b @ y)
+    if timed_out and not converged:
+        return SDPResult("time_limit", obj, None, it, prim_res, dual_res)
     if penalty:
         r = float(y[m])
         if converged and r > 1e-5:

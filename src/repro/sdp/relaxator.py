@@ -21,7 +21,7 @@ import numpy as np
 from repro.cip.node import Node
 from repro.cip.plugins import RelaxationResult, RelaxationStatus, Relaxator
 from repro.cip.solver import CIPSolver
-from repro.lp import LinearProgram, LPStatus, solve_lp
+from repro.lp import LinearProgram, LPStatus
 from repro.sdp.admm import solve_sdp_relaxation
 from repro.sdp.linalg import eig_pairs_below
 from repro.sdp.model import MISDP
@@ -47,10 +47,17 @@ class SDPRelaxator(Relaxator):
         m = self.misdp.num_vars
         lb = solver._local_lb[:m].copy()  # noqa: SLF001 - relaxator is a core plugin
         ub = solver._local_ub[:m].copy()  # noqa: SLF001
-        res = solve_sdp_relaxation(self.misdp, lb, ub, max_iter=self.max_iter, tol=self.tol)
+        budget = solver.budget if solver.budget.limited else None
+        res = solve_sdp_relaxation(
+            self.misdp, lb, ub, max_iter=self.max_iter, tol=self.tol, budget=budget
+        )
         work = WORK_PER_ADMM_ITER * res.iterations
         if res.status == "infeasible":
             return RelaxationResult(RelaxationStatus.INFEASIBLE, math.inf, None, work)
+        if res.status == "time_limit":
+            # deadline expired mid-ADMM: no penalty retry, no LP fallback —
+            # the node is handed back unbounded so the solve can stop
+            return RelaxationResult(RelaxationStatus.FAILED, -math.inf, None, work)
         if res.status == "optimal" and res.y is not None:
             bound = -res.safe_upper_bound + solver.model.obj_offset
             return RelaxationResult(RelaxationStatus.OPTIMAL, bound, res.y, work)
@@ -58,11 +65,13 @@ class SDPRelaxator(Relaxator):
         # branching. The penalty formulation (min r with C - A(y) + rI >= 0)
         # decides feasibility; bounding falls back to eigenvector-cut LPs.
         pres = solve_sdp_relaxation(
-            self.misdp, lb, ub, max_iter=self.max_iter, tol=self.tol, penalty=True
+            self.misdp, lb, ub, max_iter=self.max_iter, tol=self.tol, penalty=True, budget=budget
         )
         work += WORK_PER_ADMM_ITER * pres.iterations
         if pres.status == "infeasible":
             return RelaxationResult(RelaxationStatus.INFEASIBLE, math.inf, None, work)
+        if pres.status == "time_limit":
+            return RelaxationResult(RelaxationStatus.FAILED, -math.inf, None, work)
         return self._lp_fallback(solver, lb, ub, work)
 
     def _lp_fallback(
@@ -81,13 +90,20 @@ class SDPRelaxator(Relaxator):
                 lp.add_row(dict(row.coefs), row.lhs, row.rhs)
             for coefs, rhs in self._fallback_cuts:
                 lp.add_row(coefs, rhs=rhs)
-            sol = solve_lp(lp, solver.params.lp_backend)
+            # the solver's failover chain supplies numerical recovery and
+            # deadline enforcement for the outer-approximation LPs too
+            sol = solver.solve_lp_robust(lp)
             work += WORK_PER_LP_FALLBACK
             if sol.status is LPStatus.INFEASIBLE:
                 return RelaxationResult(RelaxationStatus.INFEASIBLE, math.inf, None, work)
             if sol.status is not LPStatus.OPTIMAL:
                 return RelaxationResult(RelaxationStatus.FAILED, -math.inf, None, work)
             y = sol.x[:m]
+            if solver.budget.time_exceeded():
+                # every LP optimum of the outer approximation is a valid
+                # bound: stop tightening, keep what is proved
+                bound = sol.objective + solver.model.obj_offset
+                return RelaxationResult(RelaxationStatus.OPTIMAL, bound, y, work)
             added = 0
             for block in misdp.blocks:
                 Z = block.evaluate(y)

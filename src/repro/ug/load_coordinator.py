@@ -276,8 +276,17 @@ class LoadCoordinator:
             if payload.get("failed"):
                 # the ParaSolver contained a base-solver error: the solver
                 # itself survives, but its subproblem must be re-explored
-                self.metrics.inc("step_failures")
-                self.tracer.emit(now, "step_failure_contained", rank)
+                if payload.get("numerical"):
+                    # the kernel degraded (NUMERICAL_ERROR) rather than
+                    # crashed: same containment, separate accounting
+                    self.metrics.inc("numerical_failures")
+                    self.tracer.emit(
+                        now, "numerical_failure_contained", rank,
+                        dual=payload.get("dual_bound", -math.inf),
+                    )
+                else:
+                    self.metrics.inc("step_failures")
+                    self.tracer.emit(now, "step_failure_contained", rank)
                 if "nodes_processed" in payload:
                     self._nodes_processed[rank] = payload["nodes_processed"]
                 self.collecting.discard(rank)

@@ -104,6 +104,9 @@ class ParaSolver:
             self.handle = self.user_plugins.create_handle(
                 self.instance, node, params, self.seed + self.rank, incumbent
             )
+            # kernel-level robustness events (quarantine, LP failover,
+            # budget stops) flow into the same run trace under this rank
+            self.handle.attach_telemetry(self.tracer, self.rank)
             self.state = "racing" if tag is MessageTag.RACING_START else "working"
             self.collect_mode = False
             self._work_since_status = 0.0
@@ -176,15 +179,35 @@ class ParaSolver:
                 send(LOAD_COORDINATOR_RANK, MessageTag.SOLUTION_FOUND, {"solution": sol, "rank": self.rank})
 
         if step.finished:
-            send(
-                LOAD_COORDINATOR_RANK,
-                MessageTag.TERMINATED,
-                {
-                    "rank": self.rank,
-                    "dual_bound": step.dual_bound,
-                    "nodes_processed": self.nodes_processed_total,
-                },
-            )
+            if step.status == "numerical_error":
+                # the kernel degraded (essential plugin failed) but kept a
+                # valid dual bound: surrender the subproblem like a
+                # contained step failure, flagged so the Supervisor can
+                # account numerical trouble separately from crashes
+                tracer.emit(
+                    self.busy_work, "numerical_failure", self.rank, dual=step.dual_bound
+                )
+                send(
+                    LOAD_COORDINATOR_RANK,
+                    MessageTag.TERMINATED,
+                    {
+                        "rank": self.rank,
+                        "failed": True,
+                        "numerical": True,
+                        "dual_bound": step.dual_bound,
+                        "nodes_processed": self.nodes_processed_total,
+                    },
+                )
+            else:
+                send(
+                    LOAD_COORDINATOR_RANK,
+                    MessageTag.TERMINATED,
+                    {
+                        "rank": self.rank,
+                        "dual_bound": step.dual_bound,
+                        "nodes_processed": self.nodes_processed_total,
+                    },
+                )
             self.state = "idle"
             self.handle = None
             self.current_node = None

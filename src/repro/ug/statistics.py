@@ -43,6 +43,7 @@ class UGStatistics:
     # fault tolerance (the restart-series campaigns of Tables 2-3)
     solver_failures: int = 0  # ranks declared dead by heartbeat timeout
     step_failures: int = 0  # base-solver step errors contained by a ParaSolver
+    numerical_failures: int = 0  # kernel NUMERICAL_ERROR degradations contained
     nodes_reclaimed: int = 0  # active ParaNodes recovered from failed solvers
     checkpoints_recovered: int = 0  # restarts served from a .bak fallback
     messages_dropped: int = 0  # injected message losses observed

@@ -33,6 +33,10 @@ class HandleStep:
     n_open: int
     solutions: list[ParaSolution] = field(default_factory=list)
     nodes_processed: int = 0
+    # base-solver termination status (a SolveStatus value string, e.g.
+    # "optimal" or "numerical_error"); empty for legacy handles.  UG uses
+    # it to distinguish a contained numerical failure from a clean finish.
+    status: str = ""
 
 
 class SolverHandle:
@@ -45,6 +49,12 @@ class SolverHandle:
     def step(self) -> HandleStep:
         """Process one B&B node; must be reentrant between messages."""
         raise NotImplementedError
+
+    def attach_telemetry(self, tracer: Any, rank: int = 0) -> None:
+        """Point the wrapped kernel at the run's shared tracer so
+        quarantine/failover/budget events land in the UG trace.
+        Default: no-op (handles without a CIP kernel)."""
+        return None
 
     def extract_para_node(self) -> ParaNode | None:
         """Remove one heavy open node in solver-independent form, or None."""

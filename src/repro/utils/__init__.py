@@ -1,9 +1,10 @@
-"""Shared utilities: tolerances, statistics, RNG management, timing."""
+"""Shared utilities: tolerances, statistics, RNG management, timing, budgets."""
 
 from repro.utils.tolerances import Tolerances, DEFAULT_TOL
 from repro.utils.stats import shifted_geometric_mean, arithmetic_mean
 from repro.utils.rng import make_rng, spawn_seeds
 from repro.utils.timing import Stopwatch
+from repro.utils.budget import Budget
 
 __all__ = [
     "Tolerances",
@@ -13,4 +14,5 @@ __all__ = [
     "make_rng",
     "spawn_seeds",
     "Stopwatch",
+    "Budget",
 ]

@@ -1,0 +1,128 @@
+"""Shared solve budget: deadline, node and soft-memory limits.
+
+SCIP honors ``limits/time`` *inside* long-running components (the LP is
+interrupted mid-solve, not merely between nodes); this module provides
+the equivalent primitive for the whole kernel.  One :class:`Budget` is
+threaded from :meth:`repro.cip.solver.CIPSolver.solve` down into the
+inner loops — simplex iterations, ADMM iterations, the cut/heuristic
+rounds of node processing — so a deadline is honored within one
+iteration of whatever is currently running.
+
+Design notes:
+
+* The clock is injectable (tests drive a fake clock; production uses
+  ``time.perf_counter``).  An unlimited budget never consults the clock,
+  so SimEngine runs without time limits stay bit-identical.
+* The soft-memory limit is advisory: crossing it does not stop the
+  solve, it triggers graceful degradation (cut-pool shrink, heuristic
+  throttling) in the CIP loop.  The RSS probe is injectable for the same
+  determinism reason.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+
+def _default_rss_mb() -> float:
+    """Resident set size in MiB (0.0 when the probe is unavailable)."""
+    try:
+        import resource
+
+        kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except Exception:  # pragma: no cover - non-POSIX fallback
+        return 0.0
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    return kb / 1024.0 if kb < 1 << 40 else kb / (1024.0 * 1024.0)
+
+
+class Budget:
+    """Deadline + node + soft-memory budget shared by nested solver loops.
+
+    ``time_limit`` is seconds from :meth:`start`; ``node_limit`` caps
+    branch-and-bound nodes; ``soft_memory_limit_mb`` marks the advisory
+    memory ceiling.  All limits default to unlimited, in which case every
+    check is a cheap constant-time no-op.
+    """
+
+    __slots__ = (
+        "time_limit",
+        "node_limit",
+        "soft_memory_limit_mb",
+        "clock",
+        "rss_mb",
+        "_start",
+    )
+
+    def __init__(
+        self,
+        time_limit: float = math.inf,
+        node_limit: int | None = None,
+        soft_memory_limit_mb: float = math.inf,
+        clock: Callable[[], float] | None = None,
+        rss_mb: Callable[[], float] | None = None,
+    ) -> None:
+        self.time_limit = float(time_limit)
+        self.node_limit = node_limit
+        self.soft_memory_limit_mb = float(soft_memory_limit_mb)
+        self.clock = clock or time.perf_counter
+        self.rss_mb = rss_mb or _default_rss_mb
+        self._start: float | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "Budget":
+        """(Re)anchor the deadline at the current clock reading."""
+        self._start = self.clock() if self.has_deadline else 0.0
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._start is not None
+
+    @property
+    def has_deadline(self) -> bool:
+        return math.isfinite(self.time_limit)
+
+    @property
+    def limited(self) -> bool:
+        """True when any of the three limits is finite."""
+        return (
+            self.has_deadline
+            or self.node_limit is not None
+            or math.isfinite(self.soft_memory_limit_mb)
+        )
+
+    # -- time -----------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        if not self.has_deadline or self._start is None:
+            return 0.0
+        return self.clock() - self._start
+
+    def remaining_time(self) -> float:
+        """Seconds left before the deadline (inf when none is set)."""
+        if not self.has_deadline:
+            return math.inf
+        return self.time_limit - self.elapsed()
+
+    def time_exceeded(self) -> bool:
+        """True once the deadline passed.  Constant-time when unlimited."""
+        if not self.has_deadline:
+            return False
+        return self.elapsed() >= self.time_limit
+
+    # -- nodes ----------------------------------------------------------------
+
+    def nodes_exceeded(self, nodes: int) -> bool:
+        return self.node_limit is not None and nodes >= self.node_limit
+
+    # -- memory ---------------------------------------------------------------
+
+    def memory_pressure(self) -> bool:
+        """Advisory: True while RSS sits above the soft ceiling."""
+        if not math.isfinite(self.soft_memory_limit_mb):
+            return False
+        return self.rss_mb() >= self.soft_memory_limit_mb
