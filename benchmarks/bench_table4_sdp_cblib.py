@@ -20,6 +20,7 @@ comparable.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from benchmarks.common import emit_bench_json, print_table
@@ -30,6 +31,7 @@ from repro.sdp.solver import MISDPSolver
 from repro.ug import ug
 from repro.ug.config import UGConfig
 from repro.utils import shifted_geometric_mean
+from repro.verify import check_misdp_result, check_misdp_solution
 
 THREAD_COUNTS = [1, 2, 4, 8]
 TIME_BUDGET = 6.0  # virtual seconds per instance
@@ -40,6 +42,7 @@ FAMILIES = ("TTD", "CLS", "Mk-P")
 def _sequential_run(misdp) -> tuple[bool, float]:
     solver = MISDPSolver(misdp, approach="sdp", seed=0)
     sol = solver.solve(node_limit=NODE_BUDGET, time_limit=600)
+    check_misdp_result(misdp, sol).raise_if_failed()
     solved = sol.status.value in ("optimal", "gap_limit")
     time = min(sol.stats.total_work, TIME_BUDGET) if sol.stats else TIME_BUDGET
     return solved, (time if solved else TIME_BUDGET)
@@ -55,6 +58,14 @@ def _parallel_run(misdp, n: int) -> tuple[bool, float]:
     solver = ug(misdp, MISDPUserPlugins(), n_solvers=n, comm="sim",
                 params=ParamSet(), config=cfg, seed=0, wall_clock_limit=60.0)
     res = solver.run()
+    if res.incumbent is not None and res.incumbent.payload is not None:
+        # incumbents ship the raw y vector: re-check feasibility by a
+        # fresh eigenvalue computation and recompute the objective (the
+        # UG layer minimises -b'y, so negate back to the sup sense)
+        check_misdp_solution(
+            misdp, np.asarray(res.incumbent.payload, dtype=float),
+            claimed_value=-res.incumbent.value,
+        ).raise_if_failed()
     return res.solved, (res.stats.computing_time if res.solved else TIME_BUDGET)
 
 

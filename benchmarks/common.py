@@ -104,7 +104,25 @@ def run_steiner_ug(
         seed=seed,
         wall_clock_limit=wall_clock_limit,
     )
-    return solver.run()
+    result = solver.run()
+    verify_steiner_result(graph, result)
+    return result
+
+
+def verify_steiner_result(graph: SteinerGraph, result: UGResult) -> None:
+    """Certificate-check every benchmark result before it is reported.
+
+    The incumbent tree is re-validated on the *input* graph and its
+    weight recomputed; if the run was traced, the B&B invariants are
+    audited too. A failing check raises
+    :class:`~repro.exceptions.VerificationError` — a benchmark row must
+    never be built from an uncertified claim.
+    """
+    from repro.verify import audit_ug_run, check_ug_steiner_result
+
+    report = check_ug_steiner_result(graph, result)
+    report.merge(audit_ug_run(result))
+    report.raise_if_failed()
 
 
 # --- table formatting & artifacts ---------------------------------------------

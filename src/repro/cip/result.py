@@ -64,6 +64,11 @@ class SolveResult:
         p, d = self.best_solution.value, self.dual_bound
         if math.isinf(d):
             return math.inf
+        if p * d < 0:
+            # SCIP convention (same as UGStatistics): bounds on opposite
+            # sides of zero give an infinite gap — the relative formula
+            # would report a bogus finite value
+            return math.inf
         return abs(p - d) / max(abs(p), abs(d), 1.0)
 
 

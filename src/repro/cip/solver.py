@@ -105,6 +105,9 @@ class CIPSolver:
         self._degraded: str | None = None  # reason, once an essential plugin failed
         self._lost_bound = math.inf  # min lower bound over dropped (unresolved) nodes
         self._heur_throttle = 1  # heuristic frequency multiplier under memory pressure
+        # how the node being processed was resolved: (outcome, children, value)
+        # — consumed by step() to emit the bb_node audit event
+        self._node_outcome: tuple[str, int, float | None] = ("branched", 0, None)
 
         self._tree: NodeTree | None = None
         self._node_counter = 0
@@ -156,6 +159,39 @@ class CIPSolver:
         """Trace a kernel event at the deterministic work clock."""
         if self.tracer.enabled:
             self.tracer.emit(self.stats.total_work, kind, self.trace_rank, **data)
+
+    def _emit_bb_node(
+        self,
+        node: Node,
+        bound_in: float,
+        outcome: str,
+        children: int,
+        value: float | None,
+        cutoff: float,
+        processed: bool,
+    ) -> None:
+        """Trace how one popped node was resolved (the tree-audit record).
+
+        ``processed=False`` marks nodes pruned at selection time, before
+        :meth:`_process_node` ran (they do not count into
+        ``stats.nodes_processed``).
+        """
+        if not self.tracer.enabled:
+            return
+        data: dict[str, Any] = {
+            "node": node.node_id,
+            "parent": node.parent_id,
+            "depth": node.depth,
+            "bound_in": bound_in,
+            "bound": node.lower_bound,
+            "outcome": outcome,
+            "children": children,
+            "cutoff": cutoff,
+            "processed": processed,
+        }
+        if value is not None:
+            data["value"] = value
+        self.tracer.emit(self.stats.total_work, "bb_node", self.trace_rank, **data)
 
     def _record_plugin_failure(self, plugin: Plugin, kind: str, exc: BaseException) -> bool:
         """Ledger one failed callback; returns True when it trips quarantine."""
@@ -298,6 +334,7 @@ class CIPSolver:
             if not self._check_candidate(x):
                 return False
         self.incumbent = Solution(value, None if x is None else np.asarray(x, dtype=float).copy(), data)
+        self._emit("bb_incumbent", value=value, source="solution")
         if self._tree is not None:
             self.stats.nodes_pruned += self._tree.prune_worse_than(self.cutoff_bound)
         for ev in self.event_handlers:
@@ -308,6 +345,7 @@ class CIPSolver:
         """Install an externally known primal bound (UG incumbent sharing)."""
         if self.incumbent is None or value < self.incumbent.value:
             self.incumbent = Solution(value, None, None)
+            self._emit("bb_incumbent", value=value, source="external")
             if self._tree is not None:
                 self.stats.nodes_pruned += self._tree.prune_worse_than(self.cutoff_bound)
 
@@ -431,6 +469,7 @@ class CIPSolver:
             node = self._tree.pop()
             if node.lower_bound >= cutoff:
                 self.stats.nodes_pruned += 1
+                self._emit_bb_node(node, node.lower_bound, "pruned_bound", 0, None, cutoff, False)
                 continue
             break
         else:
@@ -439,6 +478,8 @@ class CIPSolver:
         self._current_node = node
         is_root = not self._root_processed
         incumbent_before = self.incumbent
+        bound_in = node.lower_bound
+        self._node_outcome = ("branched", 0, None)
         work += WORK_PER_NODE
         try:
             work += self._process_node(node, is_root)
@@ -448,6 +489,10 @@ class CIPSolver:
             self._root_processed = True
         self.stats.nodes_processed += 1
         self.stats.total_work += work
+        outcome, n_children, sol_value = self._node_outcome
+        # cutoff re-read after processing: mid-node incumbents tighten it,
+        # and the last prune decision inside the node used the live value
+        self._emit_bb_node(node, bound_in, outcome, n_children, sol_value, self.cutoff_bound, True)
         if is_root:
             self.stats.root_work = work
             self.stats.root_bound = self.dual_bound()
@@ -664,9 +709,11 @@ class CIPSolver:
         work = 0.0
         if not self._install_local_bounds(node):
             self.stats.nodes_pruned += 1
+            self._node_outcome = ("infeasible", 0, None)
             return work
         if self._propagate(node) is PropagationStatus.INFEASIBLE:
             self.stats.nodes_pruned += 1
+            self._node_outcome = ("infeasible", 0, None)
             return work
 
         max_rounds = self.params.max_sepa_rounds_root if is_root else self.params.max_sepa_rounds
@@ -678,6 +725,7 @@ class CIPSolver:
             work += rel.work
             if rel.status is RelaxationStatus.INFEASIBLE:
                 self.stats.nodes_pruned += 1
+                self._node_outcome = ("infeasible", 0, None)
                 return work
             if rel.status in (RelaxationStatus.UNBOUNDED, RelaxationStatus.FAILED):
                 # cannot bound: resolve by branching on the raw node
@@ -689,6 +737,7 @@ class CIPSolver:
             node.lower_bound = bound
             if bound >= self.cutoff_bound:
                 self.stats.nodes_pruned += 1
+                self._node_outcome = ("pruned_bound", 0, None)
                 return work
             assert x is not None
             if rounds >= max_rounds:
@@ -719,7 +768,9 @@ class CIPSolver:
                 if frac:
                     break
                 if self._check_candidate(x):
-                    self.add_solution(self.model.objective_value(x), x, check=False)
+                    value = self.model.objective_value(x)
+                    self.add_solution(value, x, check=False)
+                    self._node_outcome = ("solution", 0, value)
                     return work
                 n_cuts, sep_work = self._separate(node, x, is_root)
                 work += sep_work
@@ -733,6 +784,7 @@ class CIPSolver:
                 work += rel.work
                 if rel.status is RelaxationStatus.INFEASIBLE:
                     self.stats.nodes_pruned += 1
+                    self._node_outcome = ("infeasible", 0, None)
                     return work
                 if rel.status is not RelaxationStatus.OPTIMAL:
                     x = None
@@ -741,15 +793,17 @@ class CIPSolver:
                 node.lower_bound = max(node.lower_bound, rel.bound)
                 if node.lower_bound >= self.cutoff_bound:
                     self.stats.nodes_pruned += 1
+                    self._node_outcome = ("pruned_bound", 0, None)
                     return work
                 assert x is not None
 
         self._run_heuristics(node, x, is_root)
         if node.lower_bound >= self.cutoff_bound:
             self.stats.nodes_pruned += 1
+            self._node_outcome = ("pruned_bound", 0, None)
             return work
         try:
-            self._branch(node, x)
+            self._node_outcome = ("branched", self._branch(node, x), None)
         except EssentialPluginFailure:
             # the last usable branching rule failed by exception: the solve
             # degrades to NUMERICAL_ERROR; the dropped node caps the bound
@@ -767,6 +821,7 @@ class CIPSolver:
 
     def _drop_node(self, node: Node) -> None:
         """Account for a node pruned without proof (unresolved)."""
+        self._node_outcome = ("unresolved", 0, None)
         self._lost_bound = min(self._lost_bound, node.lower_bound)
         self.stats.bump("unresolved_nodes")
         self.stats.nodes_pruned += 1

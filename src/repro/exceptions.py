@@ -46,3 +46,7 @@ class GraphError(ReproError):
 
 class SDPError(ReproError):
     """Raised when the SDP relaxation solver fails to converge or receives bad data."""
+
+
+class VerificationError(ReproError):
+    """Raised when an independent certificate check rejects a claimed result."""

@@ -21,7 +21,7 @@ outputs instead of ad-hoc fields scattered through the engines:
   ``BENCH_*.json`` machine-readable emitter used by ``benchmarks/``.
 """
 
-from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
+from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer, load_trace_jsonl
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -44,6 +44,7 @@ __all__ = [
     "Tracer",
     "TraceEvent",
     "NULL_TRACER",
+    "load_trace_jsonl",
     "Counter",
     "Gauge",
     "Timer",

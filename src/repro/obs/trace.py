@@ -119,6 +119,35 @@ class Tracer:
         return p
 
 
+def load_trace_jsonl(source: str | Path) -> list[TraceEvent]:
+    """Parse a JSONL trace export back into :class:`TraceEvent` objects.
+
+    ``source`` is a file path or the JSONL text itself (anything with a
+    newline is treated as text). Non-finite bounds round-trip through
+    Python's ``Infinity``/``-Infinity`` JSON extension, the same dialect
+    :meth:`Tracer.to_jsonl` writes. Used by the standalone verification
+    CLI (``python -m repro.verify``) and the tree auditors.
+    """
+    text: str
+    if isinstance(source, Path) or "\n" not in str(source):
+        text = Path(source).read_text()
+    else:
+        text = str(source)
+    events: list[TraceEvent] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+            events.append(
+                TraceEvent(float(obj["t"]), str(obj["kind"]), int(obj["rank"]), dict(obj["data"]))
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(f"malformed trace line {lineno}: {exc}") from exc
+    return events
+
+
 #: Shared disabled tracer used as the default instrumentation target, so
 #: components constructed outside an engine (unit tests, direct driving)
 #: need no wiring.  Never enable this instance — attach a fresh

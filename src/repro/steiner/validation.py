@@ -1,10 +1,23 @@
-"""Validation of Steiner tree solutions against a graph."""
+"""Validation of Steiner tree solutions against a graph.
+
+Covers the plain SPG tree check plus the two solution shapes the
+transformation pipeline produces: prize-collecting trees (PCSTP) and
+arborescences on a :class:`~repro.steiner.transformations.SAPDigraph`.
+All checkers recompute the objective from raw edge/arc costs — they are
+the trusted half of the ``repro.verify`` certificate layer.
+"""
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
 
 from repro.exceptions import GraphError
 from repro.steiner.graph import SteinerGraph
 from repro.steiner.union_find import UnionFind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (prize_collecting imports us)
+    from repro.steiner.prize_collecting import PCSTP
+    from repro.steiner.transformations import SAPDigraph
 
 
 def validate_tree(graph: SteinerGraph, edge_ids: list[int], *, original: bool = False) -> float:
@@ -41,4 +54,64 @@ def validate_tree(graph: SteinerGraph, edge_ids: list[int], *, original: bool = 
     for t in terms[1:]:
         if not uf.connected(terms[0], t):
             raise GraphError(f"terminals {terms[0]} and {t} are not connected")
+    return cost
+
+
+def validate_pc_tree(instance: "PCSTP", edge_ids: list[int], vertices: Iterable[int]) -> float:
+    """Validate a prize-collecting solution; returns its objective.
+
+    The solution is a tree spanning exactly ``vertices`` (a single
+    vertex with no edges is a legal degenerate tree); the objective is
+    edge costs plus the prizes of every alive vertex left out.
+    """
+    vs = set(int(v) for v in vertices)
+    if not vs:
+        raise GraphError("prize-collecting solution selects no vertex")
+    return instance.validate(list(edge_ids), vs)
+
+
+def validate_arborescence(
+    sap: "SAPDigraph", arc_ids: list[int], *, require_all_sinks: bool = True
+) -> float:
+    """Check ``arc_ids`` form an arborescence rooted at ``sap.root``.
+
+    Every selected arc's head is entered exactly once, the arcs are
+    reachable from the root through other selected arcs, and (with
+    ``require_all_sinks``) every sink terminal is reached. Returns the
+    total arc cost.
+    """
+    chosen = [int(a) for a in arc_ids]
+    if len(set(chosen)) != len(chosen):
+        raise GraphError("arc listed twice")
+    in_deg: dict[int, int] = {}
+    out_of: dict[int, list[int]] = {}
+    cost = 0.0
+    for a in chosen:
+        if not 0 <= a < sap.num_arcs:
+            raise GraphError(f"arc {a} out of range")
+        head, tail = int(sap.arc_head[a]), int(sap.arc_tail[a])
+        if head == sap.root:
+            raise GraphError(f"arc {a} enters the root")
+        in_deg[head] = in_deg.get(head, 0) + 1
+        if in_deg[head] > 1:
+            raise GraphError(f"vertex {head} entered twice")
+        out_of.setdefault(tail, []).append(a)
+        cost += float(sap.arc_cost[a])
+    reached = {sap.root}
+    frontier = [sap.root]
+    n_reached_arcs = 0
+    while frontier:
+        v = frontier.pop()
+        for a in out_of.get(v, ()):  # selected arcs leaving a reached vertex
+            h = int(sap.arc_head[a])
+            n_reached_arcs += 1
+            if h not in reached:
+                reached.add(h)
+                frontier.append(h)
+    if n_reached_arcs != len(chosen):
+        raise GraphError("selected arcs contain a part unreachable from the root")
+    if require_all_sinks:
+        for t in sap.sinks():
+            if t not in reached:
+                raise GraphError(f"sink terminal {t} not reached from the root")
     return cost

@@ -7,6 +7,7 @@ SCIP's ``numerics/*`` parameters.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -43,7 +44,14 @@ class Tolerances:
         return abs(value) <= self.eps
 
     def rel_gap(self, primal: float, dual: float) -> float:
-        """Relative primal/dual gap, using SCIP's |primal - dual| / max(|primal|, |dual|, 1)."""
+        """Relative primal/dual gap, using SCIP's |primal - dual| / max(|primal|, |dual|, 1).
+
+        Bounds on opposite sides of zero (or an infinite bound) give an
+        infinite gap, matching ``UGStatistics``: the relative formula
+        would otherwise report a bogus finite value like "100%".
+        """
+        if math.isinf(primal) or math.isinf(dual) or primal * dual < 0:
+            return math.inf
         return abs(primal - dual) / max(abs(primal), abs(dual), 1.0)
 
 

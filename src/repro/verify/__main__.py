@@ -1,0 +1,116 @@
+"""Standalone checker CLI: audit a bench artifact and/or a trace export.
+
+Usage::
+
+    python -m repro.verify --trace run.jsonl [--bench BENCH_table1.json]
+
+The trace (a :meth:`~repro.obs.trace.Tracer.dump` JSONL export) is
+replayed through the tree auditors: the CIP ``bb_node`` stream per rank,
+plus the UG-level incumbent/solution invariants that need no solver
+state. The bench JSON is scanned for obviously inconsistent
+primal/dual pairs. Exit status is non-zero when any check fails — wire
+it after a benchmark run to gate on certified results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+from repro.obs.trace import load_trace_jsonl
+from repro.verify.result import CheckReport
+from repro.verify.tree_audit import audit_cip_trace
+
+
+def audit_trace_file(path: str | Path) -> list[CheckReport]:
+    """Audit every solver rank's bb stream found in a JSONL trace export."""
+    events = load_trace_jsonl(Path(path))
+    reports: list[CheckReport] = []
+    ranks = sorted({e.rank for e in events if e.kind == "bb_node"})
+    for rank in ranks:
+        reports.append(audit_cip_trace(events, rank=rank))
+    # UG-level invariants checkable without the UGResult object
+    ug_report = CheckReport(subject="ug-trace")
+    inc = [float(e.data["value"]) for e in events if e.kind == "incumbent"]
+    ug_report.add(
+        "incumbent_improving",
+        all(b < a + 1e-9 for a, b in zip(inc, inc[1:])),
+        f"sequence {inc}" if inc else "no incumbent events",
+    )
+    sols = [float(e.data["value"]) for e in events if e.kind == "solution"]
+    if inc and sols:
+        ug_report.add(
+            "incumbent_not_worse_than_solutions",
+            inc[-1] <= min(sols) + 1e-9 * max(1.0, abs(inc[-1])),
+            f"final incumbent {inc[-1]:.9g} vs best reported solution {min(sols):.9g}",
+        )
+    if inc or sols or ranks:
+        reports.append(ug_report)
+    return reports
+
+
+def _scan_bench_payload(obj: object, path: str, report: CheckReport) -> None:
+    """Recursively flag primal/dual pairs that violate weak duality."""
+    if isinstance(obj, dict):
+        keys = {k.lower(): k for k in obj if isinstance(k, str)}
+        for p_key, d_key in (("primal", "dual"), ("primal_final", "dual_final")):
+            if p_key in keys and d_key in keys:
+                p, d = obj[keys[p_key]], obj[keys[d_key]]
+                if isinstance(p, (int, float)) and isinstance(d, (int, float)) \
+                        and math.isfinite(p) and math.isfinite(d):
+                    report.add(
+                        f"weak_duality[{path}]",
+                        d <= p + 1e-6 * max(1.0, abs(p)),
+                        f"dual {d:.9g} above primal {p:.9g}",
+                    )
+        for k, v in obj.items():
+            _scan_bench_payload(v, f"{path}.{k}", report)
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            _scan_bench_payload(v, f"{path}[{i}]", report)
+
+
+def check_bench_file(path: str | Path) -> CheckReport:
+    """Structural + weak-duality scan of a ``BENCH_*.json`` artifact."""
+    report = CheckReport(subject=f"bench[{Path(path).name}]")
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        report.add("readable", False, str(exc))
+        return report
+    report.add("readable", True)
+    _scan_bench_payload(payload, "$", report)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Run the standalone verification oracles on run artifacts.",
+    )
+    parser.add_argument("--trace", type=Path, help="JSONL trace export (Tracer.dump)")
+    parser.add_argument("--bench", type=Path, help="BENCH_*.json artifact to scan")
+    args = parser.parse_args(argv)
+    if args.trace is None and args.bench is None:
+        parser.error("need --trace and/or --bench")
+
+    reports: list[CheckReport] = []
+    if args.bench is not None:
+        reports.append(check_bench_file(args.bench))
+    if args.trace is not None:
+        reports.extend(audit_trace_file(args.trace))
+
+    failed = 0
+    for report in reports:
+        print(report.summary())
+        failed += report.failed
+    print(f"verify: {sum(r.passed for r in reports)} passed, {failed} failed, "
+          f"{sum(1 for r in reports if r.skipped)} skipped reports")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

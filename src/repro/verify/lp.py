@@ -1,0 +1,145 @@
+"""LP certificate checking — primal/dual feasibility, complementary
+slackness and duality against an :class:`~repro.lp.model.LPSolution`.
+
+The LP is ``min c'x  s.t.  lhs <= A x <= rhs,  lb <= x <= ub``. The
+solution carries row duals (binding ``>= lhs`` row: dual >= 0, binding
+``<= rhs`` row: dual <= 0) and reduced costs ``r = c - A'duals``. A
+correct optimal certificate therefore satisfies
+
+* primal feasibility of ``x`` and ``objective == c'x``,
+* dual sign conventions per row type,
+* stationarity: ``r == c - A' duals`` exactly as stored,
+* dual feasibility: ``r_j >= 0`` where ``x_j`` sits at its lower bound,
+  ``r_j <= 0`` at the upper bound, ``r_j == 0`` strictly between,
+* complementary slackness: a nonzero dual implies a binding row (on the
+  side its sign selects),
+* strong duality: the dual objective
+  ``sum_i lhs_i [y_i]_+ + rhs_i [y_i]_-  +  sum_j lb_j [r_j]_+ + ub_j [r_j]_-``
+  equals the primal objective.
+
+Every quantity is recomputed from the raw arrays — nothing is trusted
+from the solver beyond the certificate itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.lp.model import LinearProgram, LPSolution, LPStatus
+from repro.verify.result import CheckReport
+
+
+def check_lp_certificate(
+    lp: LinearProgram, sol: LPSolution, tol: float = 1e-6, subject: str = "lp"
+) -> CheckReport:
+    """Verify an optimal LP certificate; non-OPTIMAL solves are skipped."""
+    report = CheckReport(subject=subject)
+    if sol.status is not LPStatus.OPTIMAL:
+        return report.mark_skipped(f"no certificate for status {sol.status.value}")
+
+    c, A, lhs, rhs, lb, ub = lp.to_arrays()
+    x = np.asarray(sol.x, dtype=float)
+    y = np.asarray(sol.duals, dtype=float)
+    r = np.asarray(sol.reduced_costs, dtype=float)
+    m, n = A.shape
+
+    shapes_ok = x.shape == (n,) and y.shape == (m,) and r.shape == (n,)
+    if not report.require("shapes", shapes_ok, f"x{x.shape} duals{y.shape} rc{r.shape} vs n={n} m={m}"):
+        return report
+
+    scale = max(1.0, float(np.abs(c).sum()), float(np.abs(x).max(initial=0.0)))
+    ftol = tol * scale
+
+    report.add(
+        "primal_feasible",
+        bool(np.all(x >= lb - ftol) and np.all(x <= ub + ftol)) and lp.is_feasible(x, ftol),
+        "bounds or rows violated" if not lp.is_feasible(x, ftol) else "",
+    )
+    cx = float(c @ x)
+    report.add(
+        "objective_recomputed",
+        abs(cx - sol.objective) <= ftol,
+        f"c'x={cx:.9g} vs reported {sol.objective:.9g}",
+    )
+
+    activity = A @ x
+    for i in range(m):
+        if y[i] > tol and math.isfinite(lhs[i]):
+            report.add(
+                f"compl_slack_row_{i}",
+                activity[i] <= lhs[i] + ftol,
+                f"dual {y[i]:.3g} > 0 but activity {activity[i]:.6g} not at lhs {lhs[i]:.6g}",
+            )
+        elif y[i] < -tol and math.isfinite(rhs[i]):
+            report.add(
+                f"compl_slack_row_{i}",
+                activity[i] >= rhs[i] - ftol,
+                f"dual {y[i]:.3g} < 0 but activity {activity[i]:.6g} not at rhs {rhs[i]:.6g}",
+            )
+        if y[i] > tol and not math.isfinite(lhs[i]):
+            report.add(f"dual_sign_row_{i}", False, f"positive dual {y[i]:.3g} on a <=-only row")
+        if y[i] < -tol and not math.isfinite(rhs[i]):
+            report.add(f"dual_sign_row_{i}", False, f"negative dual {y[i]:.3g} on a >=-only row")
+
+    rc = c - A.T @ y
+    report.add(
+        "stationarity",
+        bool(np.all(np.abs(rc - r) <= ftol)),
+        f"max |c - A'y - r| = {float(np.abs(rc - r).max(initial=0.0)):.3g}",
+    )
+
+    dual_feas = True
+    why = ""
+    for j in range(n):
+        at_lb = x[j] <= lb[j] + ftol
+        at_ub = x[j] >= ub[j] - ftol
+        if at_lb and r[j] < -ftol and not at_ub:
+            dual_feas, why = False, f"x[{j}] at lb but reduced cost {r[j]:.3g} < 0"
+            break
+        if at_ub and r[j] > ftol and not at_lb:
+            dual_feas, why = False, f"x[{j}] at ub but reduced cost {r[j]:.3g} > 0"
+            break
+        if not at_lb and not at_ub and abs(r[j]) > ftol:
+            dual_feas, why = False, f"x[{j}] interior but reduced cost {r[j]:.3g} != 0"
+            break
+    report.add("dual_feasibility", dual_feas, why)
+
+    dual_obj = 0.0
+    finite = True
+    for i in range(m):
+        if y[i] > tol:
+            if not math.isfinite(lhs[i]):
+                finite = False
+            else:
+                dual_obj += lhs[i] * y[i]
+        elif y[i] < -tol:
+            if not math.isfinite(rhs[i]):
+                finite = False
+            else:
+                dual_obj += rhs[i] * y[i]
+    for j in range(n):
+        if r[j] > ftol:
+            if not math.isfinite(lb[j]):
+                finite = False
+            else:
+                dual_obj += lb[j] * r[j]
+        elif r[j] < -ftol:
+            if not math.isfinite(ub[j]):
+                finite = False
+            else:
+                dual_obj += ub[j] * r[j]
+    if finite:
+        # weak duality says dual_obj <= c'x for every dual-feasible y;
+        # strong duality makes the certificate tight at the optimum
+        gtol = tol * max(1.0, abs(cx), abs(dual_obj))
+        report.add("weak_duality", dual_obj <= cx + gtol, f"dual obj {dual_obj:.9g} > primal {cx:.9g}")
+        report.add(
+            "strong_duality",
+            abs(dual_obj - cx) <= 10.0 * gtol,
+            f"dual obj {dual_obj:.9g} vs primal {cx:.9g}",
+        )
+    else:
+        report.add("weak_duality", False, "nonzero multiplier on an infinite bound")
+    return report

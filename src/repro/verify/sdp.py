@@ -1,0 +1,100 @@
+"""MISDP solution checking via direct eigenvalue computations.
+
+Nothing from the solver is trusted: bounds, integrality, linear rows,
+the smallest eigenvalue of every slack matrix ``Z_k(y) = C_k - sum A_ki
+y_i`` and the sup-sense objective ``b'y`` are all recomputed from the
+model data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.sdp.model import MISDP
+from repro.verify.result import CheckReport
+
+
+def check_misdp_solution(
+    misdp: MISDP,
+    y: Any,
+    claimed_value: float | None = None,
+    *,
+    tol: float = 1e-6,
+    subject: str = "misdp",
+) -> CheckReport:
+    """Verify feasibility of ``y`` and recompute its objective.
+
+    ``claimed_value`` is in the original (sup) sense, matching
+    :class:`~repro.sdp.solver.MISDPSolution.objective`.
+    """
+    report = CheckReport(subject=subject)
+    if y is None:
+        report.add("solution_present", False, "no variable vector to check")
+        return report
+    y = np.asarray(y, dtype=float)
+    if not report.require(
+        "solution_shape", y.shape == (misdp.num_vars,), f"got {y.shape}, need ({misdp.num_vars},)"
+    ):
+        return report
+
+    report.add(
+        "bounds",
+        bool(np.all(y >= misdp.lb - tol) and np.all(y <= misdp.ub + tol)),
+        "variable bound violated",
+    )
+    bad_int = [i for i in misdp.integers if abs(y[i] - round(y[i])) > tol]
+    report.add("integrality", not bad_int, f"fractional integers at {bad_int}" if bad_int else "")
+    for k, row in enumerate(misdp.linear_rows):
+        act = sum(c * y[j] for j, c in row.coefs.items())
+        rtol = tol * max(1.0, abs(row.lhs) if math.isfinite(row.lhs) else 1.0,
+                         abs(row.rhs) if math.isfinite(row.rhs) else 1.0)
+        report.add(
+            f"linear_row_{k}",
+            row.lhs - rtol <= act <= row.rhs + rtol,
+            f"activity {act:.9g} outside [{row.lhs:.6g}, {row.rhs:.6g}]",
+        )
+    for k, block in enumerate(misdp.blocks):
+        Z = block.evaluate(y)
+        eigmin = float(np.linalg.eigvalsh(Z)[0])
+        threshold = -tol * max(1.0, float(np.abs(Z).max()))
+        report.add(
+            f"psd_block_{k}",
+            eigmin >= threshold,
+            f"lambda_min(Z)={eigmin:.3e} < {threshold:.1e}",
+            eigmin=eigmin,
+        )
+    if claimed_value is not None and math.isfinite(claimed_value):
+        val = misdp.objective(y)
+        scale = max(1.0, abs(val))
+        report.add(
+            "objective_recomputed",
+            abs(val - claimed_value) <= tol * scale,
+            f"b'y={val:.9g} vs claimed {claimed_value:.9g}",
+        )
+    return report
+
+
+def check_misdp_result(misdp: MISDP, solution: Any, *, tol: float = 1e-6) -> CheckReport:
+    """Certificate-check a :class:`~repro.sdp.solver.MISDPSolution`.
+
+    Feasibility + objective of the best point, and weak duality in the
+    sup sense (``dual_bound`` is an *upper* bound on ``b'y``).
+    """
+    report = CheckReport(subject=f"misdp[{misdp.name}]")
+    if solution.y is None:
+        report.add("no_incumbent", True, "nothing to certify")
+        return report
+    report.merge(
+        check_misdp_solution(misdp, solution.y, solution.objective, tol=tol, subject=report.subject)
+    )
+    if math.isfinite(solution.dual_bound):
+        scale = max(1.0, abs(solution.objective))
+        report.add(
+            "weak_duality",
+            solution.objective <= solution.dual_bound + tol * scale,
+            f"objective {solution.objective:.9g} above upper bound {solution.dual_bound:.9g}",
+        )
+    return report

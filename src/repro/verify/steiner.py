@@ -1,0 +1,144 @@
+"""Steiner solution checkers — validity, connectivity and weight
+recomputation, independent of the solver that produced the tree.
+
+Covers the three solution shapes of the transformation pipeline
+(DESIGN.md §2): plain SPG trees (possibly expressed in *original* edge
+ids expanded through reduction ancestors), prize-collecting trees, and
+SAP arborescences. The UG-level helper audits a whole
+:class:`~repro.ug.instantiation.UGResult` against the input graph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from repro.exceptions import GraphError
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.validation import validate_arborescence, validate_pc_tree, validate_tree
+from repro.verify.result import CheckReport
+
+
+def check_steiner_tree(
+    graph: SteinerGraph,
+    edge_ids: list[int],
+    claimed_value: float | None = None,
+    *,
+    original: bool = False,
+    tol: float = 1e-6,
+    subject: str = "steiner",
+) -> CheckReport:
+    """Validate a tree and recompute its weight against ``claimed_value``."""
+    report = CheckReport(subject=subject)
+    try:
+        cost = validate_tree(graph, list(edge_ids), original=original)
+    except GraphError as exc:
+        report.add("tree_valid", False, str(exc))
+        return report
+    report.add("tree_valid", True, edges=len(edge_ids), cost=cost)
+    if claimed_value is not None:
+        scale = max(1.0, abs(cost))
+        report.add(
+            "weight_recomputed",
+            abs(cost - claimed_value) <= tol * scale,
+            f"recomputed {cost:.9g} vs claimed {claimed_value:.9g}",
+        )
+    return report
+
+
+def check_pc_solution(
+    instance: Any,
+    edge_ids: list[int],
+    vertices: Iterable[int],
+    claimed_value: float | None = None,
+    *,
+    tol: float = 1e-6,
+    subject: str = "pcstp",
+) -> CheckReport:
+    """Validate a prize-collecting tree and its edge-cost + penalty value."""
+    report = CheckReport(subject=subject)
+    try:
+        value = validate_pc_tree(instance, list(edge_ids), vertices)
+    except GraphError as exc:
+        report.add("pc_tree_valid", False, str(exc))
+        return report
+    report.add("pc_tree_valid", True, value=value)
+    if claimed_value is not None:
+        scale = max(1.0, abs(value))
+        report.add(
+            "pc_value_recomputed",
+            abs(value - claimed_value) <= tol * scale,
+            f"recomputed {value:.9g} vs claimed {claimed_value:.9g}",
+        )
+    return report
+
+
+def check_sap_arborescence(
+    sap: Any,
+    arc_ids: list[int],
+    claimed_value: float | None = None,
+    *,
+    tol: float = 1e-6,
+    subject: str = "sap",
+) -> CheckReport:
+    """Validate an arborescence on a transformed (SAP) instance."""
+    report = CheckReport(subject=subject)
+    try:
+        cost = validate_arborescence(sap, list(arc_ids))
+    except GraphError as exc:
+        report.add("arborescence_valid", False, str(exc))
+        return report
+    report.add("arborescence_valid", True, cost=cost)
+    if claimed_value is not None:
+        scale = max(1.0, abs(cost))
+        report.add(
+            "arc_cost_recomputed",
+            abs(cost - claimed_value) <= tol * scale,
+            f"recomputed {cost:.9g} vs claimed {claimed_value:.9g}",
+        )
+    return report
+
+
+def check_ug_steiner_result(
+    graph: SteinerGraph, result: Any, *, tol: float = 1e-6
+) -> CheckReport:
+    """Certificate-check a finished ug[SteinerJack, *] run.
+
+    ``graph`` must be the *input* graph of the run (pre-presolve):
+    incumbents ship original edge ids, so the tree re-validates and its
+    weight recomputes there. Also asserts weak duality and, for runs
+    claiming ``solved``, that the dual bound closes onto the incumbent.
+    """
+    report = CheckReport(subject=f"ug[{getattr(result, 'name', 'steiner')}]")
+    inc = result.incumbent
+    if inc is None:
+        report.add("no_incumbent", True, "nothing to certify")
+        return report
+    edges = None
+    if isinstance(inc.payload, dict):
+        edges = inc.payload.get("edges")
+    if edges is None:
+        report.add("incumbent_payload", False, "incumbent carries no edge set")
+        return report
+    report.merge(
+        check_steiner_tree(
+            graph, list(edges), inc.value, original=True, tol=tol, subject=report.subject
+        )
+    )
+    scale = max(1.0, abs(inc.value))
+    if math.isfinite(result.dual_bound):
+        report.add(
+            "weak_duality",
+            result.dual_bound <= inc.value + tol * scale,
+            f"dual {result.dual_bound:.9g} exceeds primal {inc.value:.9g}",
+        )
+    if result.solved:
+        # a solved claim is a proof of optimality within the configured
+        # objective epsilon: the final bounds must essentially coincide
+        gap_tol = max(tol * scale, 1.0 - 1e-9)  # integral objectives close within 1 unit
+        report.add(
+            "solved_gap_closed",
+            math.isfinite(result.dual_bound) and inc.value - result.dual_bound <= gap_tol,
+            f"solved claimed with dual {result.dual_bound:.9g} vs primal {inc.value:.9g}",
+        )
+    return report

@@ -1,46 +1,20 @@
-"""Shared test helpers: brute-force reference solvers and fixtures."""
+"""Shared test helpers: brute-force reference solvers and fixtures.
+
+The brute-force references now live in :mod:`repro.verify.differential`
+(so benchmarks and the ``python -m repro.verify`` CLI can reuse them);
+they are re-exported here for the test suite's historical import path.
+"""
 
 from __future__ import annotations
-
-import itertools
 
 import numpy as np
 import pytest
 
-from repro.steiner.graph import SteinerGraph
-from repro.steiner.mst import mst_on_subgraph, prune_steiner_tree
-
-
-def brute_force_steiner(graph: SteinerGraph) -> float | None:
-    """Exact SPG optimum by enumerating Steiner-vertex subsets (tiny graphs)."""
-    terms = [int(t) for t in graph.terminals]
-    if len(terms) <= 1:
-        return 0.0
-    nonterms = [int(v) for v in graph.alive_vertices() if not graph.is_terminal(int(v))]
-    best: float | None = None
-    for k in range(len(nonterms) + 1):
-        for sub in itertools.combinations(nonterms, k):
-            vs = set(terms) | set(sub)
-            r = mst_on_subgraph(graph, vs)
-            if r is None:
-                continue
-            _, cost = prune_steiner_tree(graph, r[0])
-            if best is None or cost < best:
-                best = cost
-    return best
-
-
-def brute_force_binary_mip(c: np.ndarray, A: np.ndarray, b: np.ndarray) -> float | None:
-    """min c'x s.t. Ax <= b, x binary — exhaustive."""
-    n = len(c)
-    best: float | None = None
-    for k in range(2**n):
-        x = np.array([(k >> i) & 1 for i in range(n)], dtype=float)
-        if np.all(A @ x <= b + 1e-9):
-            val = float(c @ x)
-            if best is None or val < best:
-                best = val
-    return best
+from repro.verify.differential import (  # noqa: F401  (re-exports)
+    brute_force_binary_mip,
+    brute_force_misdp,
+    brute_force_steiner,
+)
 
 
 @pytest.fixture

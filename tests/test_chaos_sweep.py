@@ -35,6 +35,8 @@ from repro.ug.checkpoint import load_checkpoint
 from repro.ug.config import UGConfig
 from repro.ug.faults import FaultPlan
 
+pytestmark = pytest.mark.chaos
+
 N_SEEDS = int(os.environ.get("CHAOS_SWEEP_SEEDS", "1"))
 BASE_SEED = int(os.environ.get("CHAOS_SWEEP_BASE", "0")) % 100_000
 

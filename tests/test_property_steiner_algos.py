@@ -1,0 +1,242 @@
+"""Property-based tests (seeded, dependency-free) for the Steiner graph
+algorithms, each checked against a naive reference implementation."""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.instances import random_instance
+from repro.steiner.maxflow import MaxFlow
+from repro.steiner.mst import mst_on_subgraph
+from repro.steiner.shortest_paths import dijkstra, extract_path
+from repro.steiner.union_find import UnionFind
+
+pytestmark = pytest.mark.fast
+
+SEEDS = range(25)
+
+
+# -- naive references ----------------------------------------------------------
+
+
+def bfs_components(n: int, edges: list[tuple[int, int]]) -> list[int]:
+    """Component label per vertex by plain BFS."""
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    label = [-1] * n
+    for s in range(n):
+        if label[s] >= 0:
+            continue
+        label[s] = s
+        q = deque([s])
+        while q:
+            v = q.popleft()
+            for w in adj[v]:
+                if label[w] < 0:
+                    label[w] = s
+                    q.append(w)
+    return label
+
+
+def prim_mst_cost(n: int, edges: list[tuple[int, int, float]], vertices: set[int]) -> float | None:
+    """O(n^2) Prim on the induced subgraph; None if disconnected."""
+    vs = sorted(vertices)
+    if not vs:
+        return 0.0
+    w: dict[tuple[int, int], float] = {}
+    for u, v, c in edges:
+        if u in vertices and v in vertices:
+            key = (min(u, v), max(u, v))
+            w[key] = min(w.get(key, math.inf), c)
+    in_tree = {vs[0]}
+    cost = 0.0
+    while len(in_tree) < len(vs):
+        best = None
+        for u in in_tree:
+            for v in vs:
+                if v in in_tree:
+                    continue
+                c = w.get((min(u, v), max(u, v)))
+                if c is not None and (best is None or c < best[0]):
+                    best = (c, v)
+        if best is None:
+            return None
+        cost += best[0]
+        in_tree.add(best[1])
+    return cost
+
+
+def bellman_ford(n: int, edges: list[tuple[int, int, float]], source: int) -> list[float]:
+    dist = [math.inf] * n
+    dist[source] = 0.0
+    for _ in range(n):
+        changed = False
+        for u, v, c in edges:
+            if dist[u] + c < dist[v] - 1e-12:
+                dist[v] = dist[u] + c
+                changed = True
+            if dist[v] + c < dist[u] - 1e-12:
+                dist[u] = dist[v] + c
+                changed = True
+        if not changed:
+            break
+    return dist
+
+
+def ford_fulkerson(n: int, arcs: list[tuple[int, int, float]], s: int, t: int) -> float:
+    """BFS augmenting paths on an adjacency-matrix residual network."""
+    cap = np.zeros((n, n))
+    for u, v, c in arcs:
+        cap[u, v] += c
+    flow = 0.0
+    while True:
+        pred = [-1] * n
+        pred[s] = s
+        q = deque([s])
+        while q and pred[t] < 0:
+            v = q.popleft()
+            for w in range(n):
+                if pred[w] < 0 and cap[v, w] > 1e-12:
+                    pred[w] = v
+                    q.append(w)
+        if pred[t] < 0:
+            return flow
+        bottleneck = math.inf
+        v = t
+        while v != s:
+            bottleneck = min(bottleneck, cap[pred[v], v])
+            v = pred[v]
+        v = t
+        while v != s:
+            cap[pred[v], v] -= bottleneck
+            cap[v, pred[v]] += bottleneck
+            v = pred[v]
+        flow += bottleneck
+
+
+def graph_edges(g: SteinerGraph) -> list[tuple[int, int, float]]:
+    return [(g.edges[e].u, g.edges[e].v, g.edges[e].cost) for e in g.alive_edges()]
+
+
+# -- properties ----------------------------------------------------------------
+
+
+class TestUnionFindProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_bfs_connectivity(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 30))
+        m = int(rng.integers(0, 2 * n))
+        edges = [(int(rng.integers(0, n)), int(rng.integers(0, n))) for _ in range(m)]
+        uf = UnionFind(n)
+        for u, v in edges:
+            merged = uf.union(u, v)
+            assert uf.connected(u, v)
+            if merged:
+                assert uf.find(u) == uf.find(v)
+        label = bfs_components(n, edges)
+        for a in range(n):
+            for b in range(n):
+                assert uf.connected(a, b) == (label[a] == label[b])
+        assert uf.n_components == len(set(label))
+
+    def test_union_is_idempotent(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert not uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.n_components == 3
+
+
+class TestMSTProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cost_matches_prim(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_instance(10, 18, 3, seed=seed)
+        all_vs = [int(v) for v in g.alive_vertices()]
+        size = int(rng.integers(2, len(all_vs) + 1))
+        vs = set(int(v) for v in rng.choice(all_vs, size=size, replace=False))
+        result = mst_on_subgraph(g, vs)
+        expected = prim_mst_cost(g.n, graph_edges(g), vs)
+        if expected is None:
+            assert result is None
+        else:
+            edge_ids, cost = result
+            assert cost == pytest.approx(expected)
+            # the chosen edges genuinely span vs without cycles
+            uf = UnionFind(g.n)
+            for eid in edge_ids:
+                e = g.edges[eid]
+                assert e.u in vs and e.v in vs
+                assert uf.union(e.u, e.v)
+            root = uf.find(next(iter(vs)))
+            assert all(uf.find(v) == root for v in vs)
+
+
+class TestDijkstraProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_distances_match_bellman_ford(self, seed):
+        g = random_instance(12, 22, 3, seed=seed)
+        source = seed % g.n
+        dist, pred = dijkstra(g, source)
+        expected = bellman_ford(g.n, graph_edges(g), source)
+        for v in range(g.n):
+            assert dist[v] == pytest.approx(expected[v])
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_extracted_path_cost_equals_distance(self, seed):
+        g = random_instance(12, 22, 3, seed=seed)
+        rng = np.random.default_rng(seed)
+        source, target = (int(x) for x in rng.choice(g.n, size=2, replace=False))
+        dist, pred = dijkstra(g, source)
+        if not math.isfinite(dist[target]):
+            return
+        path = extract_path(g, pred, target)
+        assert sum(g.edges[e].cost for e in path) == pytest.approx(dist[target])
+
+
+class TestMaxFlowProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_flow_value_matches_ford_fulkerson(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 10))
+        m = int(rng.integers(n, 3 * n))
+        tails = rng.integers(0, n, size=m)
+        heads = rng.integers(0, n, size=m)
+        keep = tails != heads
+        tails, heads = tails[keep], heads[keep]
+        caps = rng.integers(1, 10, size=len(tails)).astype(float)
+        s, t = 0, n - 1
+        mf = MaxFlow(n, tails, heads)
+        mf.set_capacities(caps)
+        value = mf.max_flow(s, t)
+        expected = ford_fulkerson(n, list(zip(tails, heads, caps)), s, t)
+        assert value == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_min_cut_capacity_equals_flow(self, seed):
+        rng = np.random.default_rng(seed + 1000)
+        n = int(rng.integers(4, 9))
+        m = int(rng.integers(n, 3 * n))
+        tails = rng.integers(0, n, size=m)
+        heads = rng.integers(0, n, size=m)
+        keep = tails != heads
+        tails, heads = tails[keep], heads[keep]
+        caps = rng.integers(1, 10, size=len(tails)).astype(float)
+        s, t = 0, n - 1
+        mf = MaxFlow(n, tails, heads)
+        mf.set_capacities(caps)
+        value = mf.max_flow(s, t)
+        source_side = mf.min_cut_source_side(s)
+        assert source_side[s] and not source_side[t]
+        # max-flow/min-cut: crossing capacity equals the flow value
+        crossing = sum(c for u, v, c in zip(tails, heads, caps)
+                       if source_side[u] and not source_side[v])
+        assert crossing == pytest.approx(value)
