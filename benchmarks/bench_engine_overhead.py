@@ -1,0 +1,80 @@
+"""Engine-overhead matrix: sim vs threads vs process across rank counts.
+
+The four engines drive identical LoadCoordinator/ParaSolver state
+machines, so any wall-clock difference at fixed (instance, ranks) is
+pure run-time overhead: GIL contention and queue hops for the
+ThreadEngine, spawn cost plus wire codec plus pipe syscalls for the
+ProcessEngine.  This bench quantifies that tax — wall seconds,
+nodes/second throughput and bytes on the wire — for 1, 2 and 4 ranks
+on a branching-heavy instance where the work is real.
+
+Honesty note: CI boxes are often single-core, so the ProcessEngine's
+true parallelism cannot show a >1x speedup there; the numbers are
+reported as measured, with the core count alongside, and nothing is
+asserted about relative speed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.common import emit_bench_json, print_table, run_steiner_ug, table1_instances
+
+ENGINES = ("sim", "threads", "process")
+RANKS = (1, 2, 4)
+
+
+def _measure() -> list[dict]:
+    name, graph = table1_instances()[-1]  # hc5u-d15: branching-heavy
+    rows: list[dict] = []
+    for comm in ENGINES:
+        for n in RANKS:
+            t0 = time.perf_counter()
+            res = run_steiner_ug(graph, n, comm=comm)
+            wall = time.perf_counter() - t0
+            nodes = res.stats.nodes_generated
+            rows.append(
+                {
+                    "instance": name,
+                    "engine": comm,
+                    "ranks": n,
+                    "objective": res.objective,
+                    "solved": res.solved,
+                    "wall_seconds": round(wall, 4),
+                    "nodes": nodes,
+                    "nodes_per_second": round(nodes / wall, 2) if wall > 0 else None,
+                    "wire_frames": res.stats.net_frames_sent,
+                    "wire_bytes": res.stats.net_bytes_sent,
+                    "idle_ratio": round(res.stats.idle_ratio, 4),
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="engine_overhead")
+def test_engine_overhead(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    # every engine must agree on the answer before overhead means anything
+    objectives = {r["objective"] for r in rows}
+    assert len(objectives) == 1, f"engines disagree on the optimum: {objectives}"
+    print_table(
+        f"Engine overhead on {rows[0]['instance']} ({os.cpu_count()} cores)",
+        ["engine", "ranks", "wall s", "nodes", "nodes/s", "wire frames", "wire bytes"],
+        [
+            [r["engine"], r["ranks"], r["wall_seconds"], r["nodes"],
+             r["nodes_per_second"], r["wire_frames"], r["wire_bytes"]]
+            for r in rows
+        ],
+    )
+    emit_bench_json(
+        "engine_overhead",
+        {"cpu_count": os.cpu_count(), "rows": rows},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    for row in _measure():
+        print(row)

@@ -5,7 +5,12 @@ One :class:`Tracer` serves one engine run.  Every instrumentation point
 reclaim, pruning, collect-mode toggles, racing decisions, checkpoint
 writes, solver steps, solutions, node shedding) emits a
 :class:`TraceEvent` — a ``(t, kind, rank, data)`` tuple with JSON-safe
-payload values.
+payload values.  The codec-backed engines (``repro.ug.net``) add the
+wire-level kinds: ``frame_fault`` (an injected frame-seam fault fired),
+``net_decode_error`` (a malformed frame was rejected by the codec),
+``send_closed`` (a frame was black-holed at a dead peer's transport) and
+``rank_death_observed`` (the engine saw a process die and routed it onto
+the heartbeat-recovery path).
 
 Design constraints, in order:
 

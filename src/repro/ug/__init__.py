@@ -22,20 +22,26 @@ implementing the Supervisor–Worker scheme of the paper's Algorithms 1–2:
   deterministic :class:`~repro.ug.faults.FaultPlan` can replay crash /
   message-loss / corruption scenarios bit-identically under the SimEngine.
 
-Two interchangeable run-time engines drive the same coordinator/solver
-state machines: :class:`~repro.ug.engines.ThreadEngine` (real Python
-threads — the Pthreads/C++11 analogue) and
-:class:`~repro.ug.engines.SimEngine` (deterministic virtual-time
-discrete-event simulation — the MPI/supercomputer analogue, see
-DESIGN.md §4 for the substitution argument).
+Four interchangeable run-time engines drive the same coordinator/solver
+state machines: :class:`~repro.ug.engines.SimEngine` (deterministic
+virtual-time discrete-event simulation — the MPI/supercomputer analogue,
+see DESIGN.md §4 for the substitution argument),
+:class:`~repro.ug.engines.ThreadEngine` (real Python threads — the
+Pthreads/C++11 analogue), and the distributed-memory pair from
+:mod:`repro.ug.net` (DESIGN.md §5e):
+:class:`~repro.ug.net.process_engine.ProcessEngine` (one OS process per
+rank over the binary wire codec — true parallelism) with its
+deterministic loopback twin
+:class:`~repro.ug.net.loopback_engine.LoopbackNetEngine`.
 
 Naming follows the paper: an instantiated solver is
-``ug[<base solver>, <library>]``, e.g. ``ug[SteinerJack, SimMPI]``.
+``ug[<base solver>, <library>]``, e.g. ``ug[SteinerJack, SimMPI]`` or
+``ug[SteinerJack, MPI]`` (the ProcessEngine).
 """
 
 from repro.ug.para_node import ParaNode
 from repro.ug.para_solution import ParaSolution
-from repro.ug.messages import Message, MessageTag
+from repro.ug.messages import Message, MessageTag, SeqStamper
 from repro.ug.user_plugins import SolverHandle, HandleStep, UserPlugins
 from repro.ug.instantiation import UGSolver, UGResult, ug
 from repro.ug.statistics import UGStatistics
@@ -43,6 +49,7 @@ from repro.ug.faults import (
     CheckpointFault,
     FaultInjector,
     FaultPlan,
+    FrameFault,
     MessageFault,
     SendFault,
     SolverCrash,
@@ -53,6 +60,7 @@ __all__ = [
     "ParaSolution",
     "Message",
     "MessageTag",
+    "SeqStamper",
     "SolverHandle",
     "HandleStep",
     "UserPlugins",
@@ -66,4 +74,5 @@ __all__ = [
     "MessageFault",
     "CheckpointFault",
     "SendFault",
+    "FrameFault",
 ]

@@ -51,6 +51,22 @@ class UGConfig:
     # SimEngine message latency (virtual seconds)
     latency: float = 1e-4
 
+    # distributed-memory engine (repro.ug.net) -----------------------------
+    # frame carrier for the ProcessEngine: "pipe" (multiprocessing.Pipe,
+    # default) or "tcp" (sockets + rank/token hello handshake)
+    net_transport: str = "pipe"
+    # parent/child receive-poll granularity, seconds of real time
+    net_poll_interval: float = 0.02
+    # TCP dial-in: per-attempt connect timeout and retry budget
+    net_connect_timeout: float = 5.0
+    net_connect_retries: int = 5
+    # bounded outbound frame queue (TCP); a full queue blocks the sender
+    # (backpressure) instead of growing without limit
+    net_outbound_queue: int = 1024
+    # how long the parent waits for children to honor TERMINATION before
+    # reaping them forcefully
+    net_shutdown_grace: float = 10.0
+
     # observability (repro.obs): structured event tracing; disabled by
     # default so untraced runs pay one branch per instrumentation point.
     # Under the SimEngine a trace replays bit-identically for the same

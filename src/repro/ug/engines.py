@@ -35,23 +35,10 @@ from repro.obs.trace import Tracer
 from repro.ug.config import UGConfig
 from repro.ug.faults import FaultInjector, make_retrying_send
 from repro.ug.load_coordinator import LoadCoordinator
-from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag
+from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag, SeqStamper
+from repro.ug.net.channel import attach_run_tracer, corrupt_frame
+from repro.ug.net.codec import FrameDecodeError, decode_message, encode_message
 from repro.ug.para_solver import ParaSolver
-
-
-def _attach_tracer(
-    tracer: Tracer | None,
-    config: UGConfig,
-    lc: LoadCoordinator,
-    solvers: dict[int, ParaSolver],
-) -> Tracer:
-    """One tracer per engine run, shared by every protocol component."""
-    if tracer is None:
-        tracer = Tracer(enabled=config.trace_enabled, capacity=config.trace_capacity)
-    lc.tracer = tracer
-    for solver in solvers.values():
-        solver.tracer = tracer
-    return tracer
 
 
 class SimEngine:
@@ -73,9 +60,12 @@ class SimEngine:
         self.wall_clock_limit = wall_clock_limit
         self.injector = FaultInjector(config.fault_plan)
         lc.fault_injector = self.injector
-        self.tracer = _attach_tracer(tracer, config, lc, solvers)
+        self.tracer = attach_run_tracer(tracer, config, lc, solvers)
         self._events: list[tuple[float, int, str, int, Message | None]] = []
         self._seq = itertools.count()
+        # per-run message sequence numbers: (src, seq) identifies a message
+        # within this engine run, independent of any other run in the process
+        self._msg_seq = SeqStamper()
         self._clock: dict[int, float] = {r: 0.0 for r in solvers}
         self._busy: dict[int, float] = {r: 0.0 for r in solvers}
         self._wake_scheduled: set[int] = set()
@@ -95,7 +85,7 @@ class SimEngine:
     def _send_factory(self, src: int, when: Callable[[], float]):
         def send(dst: int, tag: MessageTag, payload: Any) -> None:
             self.injector.check_send(src)  # may raise a transient CommError
-            msg = Message(tag=tag, src=src, dst=dst, payload=payload)
+            msg = Message(tag=tag, src=src, dst=dst, payload=payload, seq=self._msg_seq())
             action, extra_delay = self.injector.message_action(msg)
             tracer = self.tracer
             if action == "drop":
@@ -251,7 +241,8 @@ class ThreadEngine:
         self.config = config
         self.injector = FaultInjector(config.fault_plan)
         lc.fault_injector = self.injector
-        self.tracer = _attach_tracer(tracer, config, lc, solvers)
+        self.tracer = attach_run_tracer(tracer, config, lc, solvers)
+        self._msg_seq = SeqStamper()  # per-run message sequence numbers
         self._queues: dict[int, queue.Queue] = {r: queue.Queue() for r in solvers}
         self._lc_queue: queue.Queue = queue.Queue()
         self._t0 = 0.0
@@ -264,21 +255,54 @@ class ThreadEngine:
     def _send(self, src: int):
         def send(dst: int, tag: MessageTag, payload: Any) -> None:
             self.injector.check_send(src)  # may raise a transient CommError
-            msg = Message(tag=tag, src=src, dst=dst, payload=payload)
+            msg = Message(tag=tag, src=src, dst=dst, payload=payload, seq=self._msg_seq())
             action, extra_delay = self.injector.message_action(msg)
             if self.tracer.enabled:
                 self.tracer.emit(self._now(), "send", src, dst=dst, tag=tag.value, action=action)
             if action == "drop":
                 return
+            delivered = self._wire_roundtrip(msg)
+            if delivered is None:
+                return  # frame fault: the wire ate it
             target = self._lc_queue if dst == LOAD_COORDINATOR_RANK else self._queues[dst]
             if action == "delay" and extra_delay > 0:
-                timer = threading.Timer(extra_delay, target.put, args=(msg,))
+                timer = threading.Timer(extra_delay, target.put, args=(delivered,))
                 timer.daemon = True
                 timer.start()
             else:
-                target.put(msg)
+                target.put(delivered)
 
         return make_retrying_send(send, self.config, self.injector, real_time=True)
+
+    def _wire_roundtrip(self, msg: Message) -> Message | None:
+        """Every delivery crosses the binary codec, exactly like a process
+        run: the receiver gets a *fresh* decoded message (mutating a
+        delivered payload can never alias the sender's objects) and frame
+        faults from the plan damage real bytes that the CRC check rejects
+        (a lost message — survivable, PR 1's heartbeat/reclaim path)."""
+        metrics = self.lc.metrics
+        frame = encode_message(msg)
+        action = self.injector.frame_action(msg.src, msg.dst)
+        if action == "drop":
+            if self.tracer.enabled:
+                self.tracer.emit(self._now(), "frame_fault", msg.src, action="drop", dst=msg.dst)
+            return None
+        if action in ("corrupt", "truncate"):
+            if self.tracer.enabled:
+                self.tracer.emit(self._now(), "frame_fault", msg.src, action=action, dst=msg.dst)
+            frame = corrupt_frame(frame, action)
+        metrics.inc("net_frames_sent")
+        metrics.inc("net_bytes_sent", len(frame))
+        try:
+            delivered = decode_message(frame)
+        except FrameDecodeError as exc:
+            metrics.inc("net_decode_errors")
+            if self.tracer.enabled:
+                self.tracer.emit(self._now(), "net_decode_error", msg.dst, error=type(exc).__name__)
+            return None
+        metrics.inc("net_frames_received")
+        metrics.inc("net_bytes_received", len(frame))
+        return delivered
 
     def _now(self) -> float:
         return time.perf_counter() - self._t0

@@ -83,6 +83,28 @@ class CheckpointFault:
 
 
 @dataclass(frozen=True)
+class FrameFault:
+    """Damage up to ``count`` wire frames flowing ``src`` -> ``dst``.
+
+    This is the transport seam of the net stack: ``drop`` loses the frame,
+    ``corrupt`` flips a byte (the receiver's CRC check turns it into a
+    typed decode error and the message is lost), ``truncate`` cuts the
+    frame in half (same outcome via the length check).  ``None`` matches
+    any rank.  Only the codec-backed paths (ThreadEngine delivery,
+    loopback/process engines) consult frame faults; the SimEngine has no
+    wire to damage.
+    """
+
+    src: int | None = None
+    dst: int | None = None
+    action: str = "corrupt"  # "drop" | "corrupt" | "truncate"
+    count: int = 1
+
+    def matches(self, src: int, dst: int) -> bool:
+        return (self.src is None or self.src == src) and (self.dst is None or self.dst == dst)
+
+
+@dataclass(frozen=True)
 class SendFault:
     """Raise a transient CommError on sends from ``src``.
 
@@ -104,6 +126,7 @@ class FaultPlan:
     message_faults: tuple[MessageFault, ...] = ()
     checkpoint_faults: tuple[CheckpointFault, ...] = ()
     send_faults: tuple[SendFault, ...] = ()
+    frame_faults: tuple[FrameFault, ...] = ()
 
     @staticmethod
     def random_plan(
@@ -141,6 +164,7 @@ class FaultInjector:
         self._lock = threading.Lock()
         self.crashed: set[int] = set()
         self._message_budget = [f.count for f in self.plan.message_faults]
+        self._frame_budget = [f.count for f in self.plan.frame_faults]
         self._send_attempts: dict[int, int] = {}
         self._checkpoint_writes = 0
         # counters mirrored into UGStatistics at the end of a run
@@ -150,6 +174,7 @@ class FaultInjector:
         self.checkpoints_corrupted = 0
         self.send_failures_injected = 0
         self.send_retries = 0
+        self.frame_faults_injected = 0
 
     @property
     def active(self) -> bool:
@@ -186,6 +211,22 @@ class FaultInjector:
                     self.messages_delayed += 1
                     return "delay", fault.delay
             return "deliver", 0.0
+
+    # -- frame faults (transport seam) -----------------------------------------
+
+    def frame_action(self, src: int, dst: int) -> str | None:
+        """The plan's verdict for one wire frame: None (deliver intact),
+        "drop", "corrupt" or "truncate"; budgets deplete deterministically
+        in plan order."""
+        if not self.plan.frame_faults:
+            return None
+        with self._lock:
+            for i, fault in enumerate(self.plan.frame_faults):
+                if self._frame_budget[i] > 0 and fault.matches(src, dst):
+                    self._frame_budget[i] -= 1
+                    self.frame_faults_injected += 1
+                    return fault.action
+            return None
 
     # -- transient send failures ----------------------------------------------
 
@@ -230,6 +271,7 @@ class FaultInjector:
             + self.messages_delayed
             + self.checkpoints_corrupted
             + self.send_failures_injected
+            + self.frame_faults_injected
         )
 
 

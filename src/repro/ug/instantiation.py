@@ -26,6 +26,10 @@ from repro.ug.user_plugins import UserPlugins
 _LIBRARIES = {
     "sim": "SimMPI",
     "threads": "C++11",
+    # distributed-memory engines (repro.ug.net): real processes over the
+    # wire codec, and their deterministic single-threaded loopback twin
+    "process": "MPI",
+    "loopback": "NetLoop",
 }
 
 
@@ -123,12 +127,19 @@ class UGSolver:
             )
             for rank in range(1, self.n_solvers + 1)
         }
+        engine: Any
         if self.comm == "sim":
-            engine: SimEngine | ThreadEngine = SimEngine(
-                lc, solvers, self.config, wall_clock_limit=self.wall_clock_limit
-            )
-        else:
+            engine = SimEngine(lc, solvers, self.config, wall_clock_limit=self.wall_clock_limit)
+        elif self.comm == "threads":
             engine = ThreadEngine(lc, solvers, self.config)
+        elif self.comm == "process":
+            from repro.ug.net.process_engine import ProcessEngine
+
+            engine = ProcessEngine(lc, solvers, self.config)
+        else:  # "loopback"
+            from repro.ug.net.loopback_engine import LoopbackNetEngine
+
+            engine = LoopbackNetEngine(lc, solvers, self.config)
         engine.run()
 
         solved = (

@@ -470,6 +470,24 @@ class LoadCoordinator:
             return
         self._assign(send, now)
 
+    def note_rank_death(self, rank: int, send: SendFn, now: float, reason: str = "unknown") -> None:
+        """Engine-observed death (process exit, closed pipe, kill signal).
+
+        The distributed engines see failures the heartbeat cannot: a child
+        process exiting, a pipe EOF.  They funnel those observations here,
+        onto the same reclaim/continue path as a heartbeat timeout, so
+        both detection mechanisms share one recovery story.
+        """
+        if rank in self.dead or self.finished:
+            return
+        self._trace_now = now
+        self.tracer.emit(now, "rank_death_observed", rank, reason=reason)
+        self._mark_dead(rank, send, now)
+
+    def nodes_processed_total(self) -> int:
+        """Processed B&B nodes summed over every rank's last report."""
+        return sum(self._nodes_processed.values())
+
     def _check_heartbeats(self, send: SendFn, now: float) -> None:
         timeout = self.config.heartbeat_timeout
         if math.isinf(timeout) or self.finished:

@@ -7,8 +7,6 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
-_seq = itertools.count()
-
 
 class MessageTag(enum.Enum):
     # Supervisor -> Worker
@@ -41,18 +39,52 @@ HEARTBEAT_TAGS = frozenset(
 ACCEPTED_FROM_DEAD_TAGS = frozenset({MessageTag.SOLUTION_FOUND})
 
 
+class SeqStamper:
+    """Per-run message sequence numbers.
+
+    Every engine (and every distributed rank) owns one stamper, so sequence
+    spaces are scoped to a single run: back-to-back runs in one process no
+    longer interleave their numbering, and two processes cannot collide —
+    a wire message is identified by ``(src, seq)``, not by ``seq`` alone.
+    """
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+
+    def __call__(self) -> int:
+        # itertools.count.__next__ is atomic under CPython, so one stamper
+        # can be shared by all of a ThreadEngine's solver threads
+        return next(self._counter)
+
+
+#: fallback sequence for Messages constructed without an explicit ``seq``
+#: (unit tests, ad-hoc protocol driving).  Engine send paths always stamp
+#: from their own per-run :class:`SeqStamper`; this module-global never
+#: crosses an engine or process boundary.
+_fallback_seq = SeqStamper()
+
+
 @dataclass(order=True)
 class Message:
-    """One protocol message; ordering key is (send seq) for determinism."""
+    """One protocol message; ordering key is the send sequence number.
 
-    seq: int = field(init=False)
+    ``seq`` is stamped by the sending engine's per-run :class:`SeqStamper`
+    (or by the wire codec on decode); when omitted it falls back to a
+    process-local counter so directly constructed messages still order by
+    construction time.
+    """
+
     tag: MessageTag = field(compare=False)
     src: int = field(compare=False)
     dst: int = field(compare=False)
     payload: Any = field(compare=False, default=None)
+    seq: int | None = field(default=None, compare=True)
 
     def __post_init__(self) -> None:
-        self.seq = next(_seq)
+        if self.seq is None:
+            self.seq = _fallback_seq()
 
 
 LOAD_COORDINATOR_RANK = 0

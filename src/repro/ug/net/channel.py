@@ -1,0 +1,158 @@
+"""The codec boundary: one :class:`MessageChannel` per remote rank.
+
+A channel owns one :class:`~repro.ug.net.transport.Transport` endpoint
+and is the *only* place where protocol messages meet bytes: sends are
+stamped (per-run sequence), encoded, fault-injected at the frame seam
+(drop / corrupt / truncate, per the run's
+:class:`~repro.ug.faults.FaultPlan`) and counted; receives are decoded
+with every malformed frame surfacing as a typed
+:class:`~repro.ug.net.codec.FrameDecodeError` that is traced and
+counted via ``repro.obs`` instead of crashing the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.trace import Tracer
+from repro.ug.messages import Message, MessageTag, SeqStamper
+from repro.ug.net.codec import FrameDecodeError, decode_message, encode_message
+from repro.ug.net.transport import Transport, TransportClosedError
+
+
+def attach_run_tracer(tracer: Tracer | None, config: Any, lc: Any, solvers: dict[int, Any]) -> Tracer:
+    """One tracer per engine run, shared by every protocol component."""
+    if tracer is None:
+        tracer = Tracer(enabled=config.trace_enabled, capacity=config.trace_capacity)
+    lc.tracer = tracer
+    for solver in solvers.values():
+        solver.tracer = tracer
+    return tracer
+
+
+def corrupt_frame(frame: bytes, mode: str) -> bytes:
+    """Deterministically damage a frame (the injector's frame seam)."""
+    if mode == "truncate":
+        return frame[: max(len(frame) // 2, 1)]
+    # flip one byte two thirds in — lands in the payload/CRC region for
+    # any realistic frame, so the checksum check must catch it
+    pos = (2 * len(frame)) // 3
+    return frame[:pos] + bytes([frame[pos] ^ 0xFF]) + frame[pos + 1 :]
+
+
+class MessageChannel:
+    """Encode/decode endpoint for one remote rank, with accounting."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        local_rank: int,
+        remote_rank: int,
+        stamper: SeqStamper | None = None,
+        injector: Any = None,
+        metrics: Any = None,
+        tracer: Any = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.transport = transport
+        self.local_rank = local_rank
+        self.remote_rank = remote_rank
+        self.stamper = stamper or SeqStamper()
+        self.injector = injector
+        self.metrics = metrics
+        self.tracer = tracer
+        self.clock = clock or (lambda: 0.0)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.decode_errors = 0
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, dst: int, tag: MessageTag, payload: Any) -> bool:
+        """Build, stamp and ship one message; False when it was dropped
+        (injected fault or closed transport — a dead rank is a black hole)."""
+        msg = Message(tag=tag, src=self.local_rank, dst=dst, payload=payload, seq=self.stamper())
+        return self.send_message(msg)
+
+    def send_message(self, msg: Message) -> bool:
+        frame = encode_message(msg)
+        action = None
+        if self.injector is not None:
+            action = self.injector.frame_action(msg.src, msg.dst)
+        if action == "drop":
+            self._trace("frame_fault", action="drop", tag=msg.tag.value, dst=msg.dst)
+            return False
+        if action in ("corrupt", "truncate"):
+            self._trace("frame_fault", action=action, tag=msg.tag.value, dst=msg.dst)
+            frame = corrupt_frame(frame, action)
+        try:
+            self.transport.send_frame(frame)
+        except TransportClosedError:
+            self._trace("send_closed", tag=msg.tag.value, dst=msg.dst)
+            return False
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+        if self.metrics is not None:
+            self.metrics.inc("net_frames_sent")
+            self.metrics.inc("net_bytes_sent", len(frame))
+        return True
+
+    # -- receiving -------------------------------------------------------------
+
+    def recv(self, timeout: float = 0.0) -> Message | None:
+        """One decoded message, or None on timeout *and* on a malformed
+        frame (which is traced/counted — net faults degrade to message
+        loss, and message loss is already survivable by PR 1's
+        heartbeat/reclaim machinery).  Raises
+        :class:`TransportClosedError` once the peer is gone."""
+        frame = self.transport.recv_frame(timeout)
+        if frame is None:
+            return None
+        self.frames_received += 1
+        self.bytes_received += len(frame)
+        if self.metrics is not None:
+            self.metrics.inc("net_frames_received")
+            self.metrics.inc("net_bytes_received", len(frame))
+        try:
+            return decode_message(frame)
+        except FrameDecodeError as exc:
+            self.decode_errors += 1
+            if self.metrics is not None:
+                self.metrics.inc("net_decode_errors")
+            self._trace("net_decode_error", error=type(exc).__name__, bytes=len(frame))
+            return None
+
+    def drain(self, limit: int = 1024) -> list[Message]:
+        """Every message currently available, without blocking."""
+        out: list[Message] = []
+        for _ in range(limit):
+            try:
+                msg = self.recv(0.0)
+            except TransportClosedError:
+                break
+            if msg is None:
+                # distinguish "empty" from "decoded garbage": only stop
+                # when the transport truly had nothing buffered
+                if not self._has_pending():
+                    break
+                continue
+            out.append(msg)
+        return out
+
+    def _has_pending(self) -> bool:
+        pending = getattr(self.transport, "pending", None)
+        return bool(pending()) if callable(pending) else False
+
+    def close(self) -> None:
+        self.transport.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.transport.closed
+
+    def _trace(self, kind: str, **data: Any) -> None:
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(self.clock(), kind, self.remote_rank, **data)

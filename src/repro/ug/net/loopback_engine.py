@@ -1,0 +1,252 @@
+"""Deterministic in-process engine over the full net stack.
+
+:class:`LoopbackNetEngine` drives the LoadCoordinator and every
+ParaSolver cooperatively in one thread, but routes **every** message
+through the real wire path — per-rank :class:`MessageChannel` endpoints
+over :class:`LoopbackTransport` pairs, binary codec frames, frame-seam
+fault injection — so the distributed-memory machinery (encode/decode,
+CRC rejection, rank death, heartbeat reclaim) is testable bit-identically
+without spawning a single process.  It is to the ProcessEngine what the
+SimEngine is to MPI: the deterministic twin.
+
+Time is virtual: each scheduling round advances the clock by the largest
+work charge any solver reported (never less than ``config.latency``), so
+time/racing/heartbeat deadlines behave like the SimEngine's.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any
+
+from repro.exceptions import CommError
+from repro.obs.trace import Tracer
+from repro.ug.config import UGConfig
+from repro.ug.faults import FaultInjector, make_retrying_send
+from repro.ug.load_coordinator import LoadCoordinator
+from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag, SeqStamper
+from repro.ug.net.channel import MessageChannel, attach_run_tracer
+from repro.ug.net.transport import LoopbackTransport
+from repro.ug.para_solver import ParaSolver
+
+#: consecutive no-progress rounds tolerated before the engine declares the
+#: run stalled and interrupts (only reachable with heartbeat detection off)
+_MAX_IDLE_ROUNDS = 8
+
+
+class LoopbackNetEngine:
+    """Single-threaded, virtual-time engine over loopback transports."""
+
+    def __init__(
+        self,
+        lc: LoadCoordinator,
+        solvers: dict[int, ParaSolver],
+        config: UGConfig,
+        max_rounds: int = 2_000_000,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.lc = lc
+        self.solvers = solvers
+        self.config = config
+        self.max_rounds = max_rounds
+        self.injector = FaultInjector(config.fault_plan)
+        lc.fault_injector = self.injector
+        self.tracer = attach_run_tracer(tracer, config, lc, solvers)
+        self.now = 0.0
+        self._busy: dict[int, float] = {r: 0.0 for r in solvers}
+        self._nodes_total = 0
+        self._crash_noted: set[int] = set()
+        # delayed deliveries from message-level "delay" faults
+        self._delayed: list[tuple[float, int, int, Message]] = []
+        self._delay_seq = itertools.count()
+        # wire endpoints: lc <-> rank, one loopback pair per rank
+        self.lc_channels: dict[int, MessageChannel] = {}
+        self.rank_channels: dict[int, MessageChannel] = {}
+        lc_stamper = SeqStamper()
+        for rank in solvers:
+            lc_end, rank_end = LoopbackTransport.pair()
+            self.lc_channels[rank] = MessageChannel(
+                lc_end,
+                local_rank=LOAD_COORDINATOR_RANK,
+                remote_rank=rank,
+                stamper=lc_stamper,
+                injector=self.injector,
+                metrics=lc.metrics,
+                tracer=self.tracer,
+                clock=lambda: self.now,
+            )
+            self.rank_channels[rank] = MessageChannel(
+                rank_end,
+                local_rank=rank,
+                remote_rank=LOAD_COORDINATOR_RANK,
+                stamper=SeqStamper(),
+                injector=self.injector,
+                tracer=self.tracer,
+                clock=lambda: self.now,
+            )
+
+    # -- send paths ------------------------------------------------------------
+
+    def _lc_send_raw(self, dst: int, tag: MessageTag, payload: Any) -> None:
+        self.injector.check_send(LOAD_COORDINATOR_RANK)
+        if dst not in self.lc_channels:
+            raise CommError(f"unknown rank {dst}")
+        msg = Message(tag=tag, src=LOAD_COORDINATOR_RANK, dst=dst, payload=payload,
+                      seq=self.lc_channels[dst].stamper())
+        self._route(msg)
+
+    def _rank_send_raw(self, src: int, dst: int, tag: MessageTag, payload: Any) -> None:
+        self.injector.check_send(src)
+        msg = Message(tag=tag, src=src, dst=dst, payload=payload,
+                      seq=self.rank_channels[src].stamper())
+        self._route(msg)
+
+    def _route(self, msg: Message) -> None:
+        """Apply message-level faults, then ship over the wire channel."""
+        action, extra_delay = self.injector.message_action(msg)
+        tracer = self.tracer
+        if action == "drop":
+            if tracer.enabled:
+                tracer.emit(self.now, "send", msg.src, dst=msg.dst, tag=msg.tag.value, action="drop")
+            return
+        if msg.dst != LOAD_COORDINATOR_RANK and self.injector.is_crashed(msg.dst):
+            if tracer.enabled:
+                tracer.emit(self.now, "send", msg.src, dst=msg.dst, tag=msg.tag.value, action="blackhole")
+            return
+        if tracer.enabled:
+            tracer.emit(self.now, "send", msg.src, dst=msg.dst, tag=msg.tag.value,
+                        action=action, delay=extra_delay)
+        if action == "delay" and extra_delay > 0:
+            heapq.heappush(self._delayed, (self.now + extra_delay, next(self._delay_seq), msg.dst, msg))
+            return
+        self._ship(msg)
+
+    def _ship(self, msg: Message) -> None:
+        channel = (
+            self.rank_channels[msg.src]
+            if msg.dst == LOAD_COORDINATOR_RANK
+            else self.lc_channels[msg.dst]
+        )
+        channel.send_message(msg)  # frame faults + closed-peer blackhole inside
+
+    def _flush_delayed(self) -> None:
+        while self._delayed and self._delayed[0][0] <= self.now:
+            _, _, _, msg = heapq.heappop(self._delayed)
+            self._ship(msg)
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self) -> None:
+        lc = self.lc
+        lc_send = make_retrying_send(self._lc_send_raw, self.config, self.injector, real_time=False)
+        lc.start(lc_send, 0.0)
+        rounds = 0
+        idle_rounds = 0
+        while not lc.finished:
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise CommError("LoopbackNetEngine exceeded max_rounds — protocol livelock?")
+            self._flush_delayed()
+            progressed = self._pump_lc(lc_send)
+            if lc.finished:
+                break
+            if self.now >= self.config.time_limit or self._nodes_total >= self.config.node_limit:
+                lc.interrupt(lc_send, self.now)
+                break
+            round_work = 0.0
+            for rank in sorted(self.solvers):
+                if lc.finished:
+                    break
+                work, pumped = self._pump_solver(rank)
+                round_work = max(round_work, work)
+                progressed = progressed or pumped or work > 0
+            lc.on_tick(lc_send, self.now)
+            if not progressed and not self._delayed:
+                idle_rounds += 1
+                # with heartbeat detection off the clock advancing changes
+                # nothing — a silent stall would spin to max_rounds, so
+                # give the protocol a few rounds of grace and interrupt
+                if (
+                    idle_rounds > _MAX_IDLE_ROUNDS
+                    and self.config.heartbeat_timeout == float("inf")
+                    and self.config.time_limit == float("inf")
+                ):
+                    lc.interrupt(lc_send, self.now)
+                    break
+            else:
+                idle_rounds = 0
+            self.now += max(round_work, self.config.latency)
+        if not lc.finished:
+            lc.interrupt(lc_send, self.now)
+        # drain termination frames so surviving solver states are final
+        self._flush_delayed()
+        for rank in sorted(self.solvers):
+            if not self.injector.is_crashed(rank):
+                self._pump_solver(rank, deliver_only=True)
+        lc.stats.solver_busy = dict(self._busy)
+        self.injector.export_stats(lc.stats)
+        self._compute_idle_ratio()
+
+    # -- per-component pumps -----------------------------------------------------
+
+    def _pump_lc(self, lc_send: Any) -> bool:
+        """Deliver every queued worker->LC message, in rank order."""
+        lc = self.lc
+        progressed = False
+        tracer = self.tracer
+        for rank in sorted(self.lc_channels):
+            for msg in self.lc_channels[rank].drain():
+                progressed = True
+                if tracer.enabled:
+                    tracer.emit(self.now, "deliver", LOAD_COORDINATOR_RANK, src=msg.src, tag=msg.tag.value)
+                if not lc.finished:
+                    lc.handle_message(msg, lc_send, self.now)
+                    lc.on_tick(lc_send, self.now)
+        return progressed
+
+    def _pump_solver(self, rank: int, deliver_only: bool = False) -> tuple[float, bool]:
+        solver = self.solvers[rank]
+        tracer = self.tracer
+        if solver.state == "terminated":
+            return 0.0, False
+        if self.injector.maybe_crash(rank, self.now, solver.nodes_processed_total):
+            if rank not in self._crash_noted:
+                self._crash_noted.add(rank)
+                tracer.emit(self.now, "crash", rank, nodes=solver.nodes_processed_total)
+                # a dead rank's endpoint goes away, exactly like a killed
+                # process: later sends to it black-hole at the channel
+                self.rank_channels[rank].close()
+            return 0.0, False
+
+        def send(dst: int, tag: MessageTag, payload: Any) -> None:
+            self._rank_send_raw(rank, dst, tag, payload)
+
+        send_fn = make_retrying_send(send, self.config, self.injector, real_time=False)
+        pumped = False
+        for msg in self.rank_channels[rank].drain():
+            pumped = True
+            if tracer.enabled:
+                tracer.emit(self.now, "deliver", rank, src=msg.src, tag=msg.tag.value)
+            solver.handle_message(msg, send_fn)
+            if solver.state == "terminated":
+                return 0.0, True
+        if deliver_only or not solver.is_busy:
+            return 0.0, pumped
+        nodes_before = solver.nodes_processed_total
+        work = solver.do_work(send_fn) or 0.0
+        self._nodes_total += solver.nodes_processed_total - nodes_before
+        if work > 0:
+            self._busy[rank] += work
+            if tracer.enabled:
+                tracer.emit(self.now, "work", rank, work=work)
+        return work, pumped
+
+    def _compute_idle_ratio(self) -> None:
+        span = self.lc.stats.computing_time or self.now
+        if span <= 0 or not self.solvers:
+            self.lc.metrics.set("idle_ratio", 0.0)
+            return
+        total = span * len(self.solvers)
+        busy = sum(min(b, span) for b in self._busy.values())
+        self.lc.metrics.set("idle_ratio", max(0.0, 1.0 - busy / total))

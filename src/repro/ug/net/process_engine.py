@@ -1,0 +1,400 @@
+"""True-parallel engine: one OS process per ParaSolver rank.
+
+The :class:`ProcessEngine` is the third engine of the family (DESIGN.md
+§5e).  Where the SimEngine simulates and the ThreadEngine shares one GIL,
+this engine launches every rank in its own ``multiprocessing.Process``
+(spawn context — no inherited state, same start semantics on every
+platform) and routes *all* traffic through the binary wire codec over a
+pluggable transport: ``multiprocessing.Pipe`` by default, TCP sockets
+with a rank/token hello handshake when ``config.net_transport == "tcp"``.
+
+Failure story: a child that dies (killed, crashed, injected
+``SolverCrash`` → hard ``os._exit``) is observed by the parent — dead
+process sentinel, closed pipe, or heartbeat silence — and funneled into
+:meth:`LoadCoordinator.note_rank_death`, the same reclaim/continue path
+PR 1 built for heartbeat timeouts.  The run degrades gracefully and never
+claims a proven optimum over a lost subtree.
+
+The worker entry point lives at module top level so the spawn context can
+import it; everything shipped to a child is plain picklable data (no
+sockets, no handles — TCP children dial back and authenticate).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cip.params import ParamSet
+from repro.exceptions import CommError
+from repro.obs.trace import Tracer
+from repro.ug.config import UGConfig
+from repro.ug.faults import FaultInjector, make_retrying_send
+from repro.ug.load_coordinator import LoadCoordinator
+from repro.ug.messages import LOAD_COORDINATOR_RANK, Message, MessageTag, SeqStamper
+from repro.ug.net.channel import MessageChannel, attach_run_tracer
+from repro.ug.net.transport import (
+    PipeTransport,
+    TcpTransport,
+    Transport,
+    TransportClosedError,
+    tcp_listener,
+)
+from repro.ug.para_solver import ParaSolver
+from repro.ug.user_plugins import UserPlugins
+
+#: child exit codes the parent maps onto death reasons
+EXIT_OK = 0
+EXIT_COMM_LOST = 13  # parent vanished mid-run
+EXIT_INJECTED_CRASH = 42  # FaultPlan SolverCrash fired inside the child
+
+_HELLO = struct.Struct("!iI")  # rank, shared-secret token
+
+
+@dataclass
+class _SolverSpec:
+    """Everything a spawned worker needs, as plain picklable data."""
+
+    rank: int
+    instance: Any
+    user_plugins: UserPlugins
+    params: ParamSet
+    seed: int
+    config: UGConfig
+    # TCP mode only: dial-back coordinates; None means a Pipe rides along
+    tcp_addr: tuple[str, int] | None = None
+    tcp_token: int = 0
+
+
+def _child_transport(spec: _SolverSpec, conn: Any) -> Transport:
+    if spec.tcp_addr is None:
+        return PipeTransport(conn)
+    transport = TcpTransport.connect(
+        spec.tcp_addr[0],
+        spec.tcp_addr[1],
+        connect_timeout=spec.config.net_connect_timeout,
+        connect_retries=spec.config.net_connect_retries,
+        max_outbound=spec.config.net_outbound_queue,
+    )
+    # authenticate before any protocol frame: the listener drops dialers
+    # that don't present the run's token with the right rank
+    transport.sock.sendall(_HELLO.pack(spec.rank, spec.tcp_token))
+    return transport
+
+
+def _worker_main(spec: _SolverSpec, conn: Any) -> None:
+    """Process entry point for one ParaSolver rank (spawn target)."""
+    try:
+        code = _worker_loop(spec, conn)
+    except (TransportClosedError, EOFError, BrokenPipeError):
+        code = EXIT_COMM_LOST
+    except KeyboardInterrupt:  # pragma: no cover - operator interrupt
+        code = EXIT_COMM_LOST
+    # _exit: skip atexit/teardown races in a dying worker — the parent
+    # only cares about the code
+    os._exit(code)
+
+
+def _worker_loop(spec: _SolverSpec, conn: Any) -> int:
+    config = spec.config
+    solver = ParaSolver(
+        rank=spec.rank,
+        instance=spec.instance,
+        user_plugins=spec.user_plugins,
+        params=spec.params,
+        seed=spec.seed,
+        status_interval_work=config.status_interval_work,
+        min_open_to_shed=config.min_open_to_shed,
+        objective_epsilon=config.objective_epsilon,
+    )
+    injector = FaultInjector(config.fault_plan)
+    channel = MessageChannel(
+        _child_transport(spec, conn),
+        local_rank=spec.rank,
+        remote_rank=LOAD_COORDINATOR_RANK,
+        stamper=SeqStamper(),
+        injector=injector,
+    )
+    t0 = time.perf_counter()
+    busy_wall = 0.0
+
+    def raw_send(dst: int, tag: MessageTag, payload: Any) -> None:
+        injector.check_send(spec.rank)
+        # ride the wall-clock busy total along on status/termination
+        # reports so the parent can fill UGStatistics.solver_busy without
+        # a second accounting channel
+        if isinstance(payload, dict) and tag in (MessageTag.STATUS, MessageTag.TERMINATED):
+            payload = dict(payload, busy_wall=busy_wall)
+        if not channel.send(dst, tag, payload):
+            raise TransportClosedError("coordinator is gone")
+
+    send = make_retrying_send(raw_send, config, injector, real_time=True)
+    poll = max(config.net_poll_interval, 1e-4)
+    while solver.state != "terminated":
+        now = time.perf_counter() - t0
+        if injector.maybe_crash(spec.rank, now, solver.nodes_processed_total):
+            return EXIT_INJECTED_CRASH  # die abruptly, exactly like a kill
+        if solver.is_busy:
+            while True:
+                msg = channel.recv(0.0)
+                if msg is None:
+                    break
+                solver.handle_message(msg, send)
+                if solver.state == "terminated":
+                    return EXIT_OK
+            if not solver.is_busy:
+                continue
+            t_work = time.perf_counter()
+            solver.do_work(send)
+            busy_wall += time.perf_counter() - t_work
+        else:
+            msg = channel.recv(poll)
+            if msg is not None:
+                solver.handle_message(msg, send)
+    return EXIT_OK
+
+
+class ProcessEngine:
+    """Distributed-memory engine over spawned worker processes."""
+
+    def __init__(
+        self,
+        lc: LoadCoordinator,
+        solvers: dict[int, ParaSolver],
+        config: UGConfig,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.lc = lc
+        # the parent's solver objects are templates only: each child
+        # rebuilds its ParaSolver from the spec, so no state is shared
+        self.solvers = solvers
+        self.config = config
+        self.injector = FaultInjector(config.fault_plan)
+        lc.fault_injector = self.injector
+        self.tracer = attach_run_tracer(tracer, config, lc, solvers)
+        self.channels: dict[int, MessageChannel] = {}
+        self.procs: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._busy: dict[int, float] = {r: 0.0 for r in solvers}
+        self._down: set[int] = set()
+        self._t0 = 0.0
+
+    # -- launch ------------------------------------------------------------------
+
+    def _spec_for(self, rank: int, tcp_addr: tuple[str, int] | None, token: int) -> _SolverSpec:
+        solver = self.solvers[rank]
+        return _SolverSpec(
+            rank=rank,
+            instance=solver.instance,
+            user_plugins=solver.user_plugins,
+            params=solver.base_params,
+            seed=solver.seed,
+            config=self.config,
+            tcp_addr=tcp_addr,
+            tcp_token=token,
+        )
+
+    def _launch(self) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        lc_stamper = SeqStamper()
+        mode = self.config.net_transport
+        if mode not in ("pipe", "tcp"):
+            raise CommError(f"unknown net_transport {mode!r} (want 'pipe' or 'tcp')")
+        listener = None
+        tcp_addr: tuple[str, int] | None = None
+        token = 0
+        if mode == "tcp":
+            listener = tcp_listener()
+            tcp_addr = listener.getsockname()
+            token = int.from_bytes(os.urandom(4), "big")
+        for rank in sorted(self.solvers):
+            if mode == "pipe":
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(self._spec_for(rank, None, 0), child_conn),
+                    name=f"ParaSolver-{rank}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                transport: Transport = PipeTransport(parent_conn)
+                self.channels[rank] = self._make_channel(rank, transport, lc_stamper)
+            else:
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(self._spec_for(rank, tcp_addr, token), None),
+                    name=f"ParaSolver-{rank}",
+                    daemon=True,
+                )
+                proc.start()
+            self.procs[rank] = proc
+        if listener is not None:
+            try:
+                self._accept_tcp(listener, token, lc_stamper)
+            finally:
+                listener.close()
+
+    def _accept_tcp(self, listener: Any, token: int, stamper: SeqStamper) -> None:
+        deadline = time.monotonic() + self.config.net_connect_timeout * max(len(self.solvers), 1)
+        listener.settimeout(1.0)
+        while len(self.channels) < len(self.solvers):
+            if time.monotonic() > deadline:
+                missing = sorted(set(self.solvers) - set(self.channels))
+                raise CommError(f"ranks {missing} never dialed in")
+            try:
+                sock, _addr = listener.accept()
+            except OSError:
+                continue
+            hello = b""
+            sock.settimeout(self.config.net_connect_timeout)
+            try:
+                while len(hello) < _HELLO.size:
+                    chunk = sock.recv(_HELLO.size - len(hello))
+                    if not chunk:
+                        break
+                    hello += chunk
+            except OSError:
+                sock.close()
+                continue
+            if len(hello) < _HELLO.size:
+                sock.close()
+                continue
+            rank, got_token = _HELLO.unpack(hello)
+            if got_token != token or rank not in self.solvers or rank in self.channels:
+                sock.close()  # stranger (or duplicate): not our worker
+                continue
+            sock.settimeout(None)
+            transport = TcpTransport(sock, max_outbound=self.config.net_outbound_queue)
+            self.channels[rank] = self._make_channel(rank, transport, stamper)
+
+    def _make_channel(self, rank: int, transport: Transport, stamper: SeqStamper) -> MessageChannel:
+        return MessageChannel(
+            transport,
+            local_rank=LOAD_COORDINATOR_RANK,
+            remote_rank=rank,
+            stamper=stamper,
+            injector=self.injector,
+            metrics=self.lc.metrics,
+            tracer=self.tracer,
+            clock=self._now,
+        )
+
+    # -- parent-side plumbing ----------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _lc_send_raw(self, dst: int, tag: MessageTag, payload: Any) -> None:
+        self.injector.check_send(LOAD_COORDINATOR_RANK)
+        channel = self.channels.get(dst)
+        if channel is None:
+            raise CommError(f"unknown rank {dst}")
+        msg = Message(tag=tag, src=LOAD_COORDINATOR_RANK, dst=dst, payload=payload, seq=channel.stamper())
+        action, extra_delay = self.injector.message_action(msg)
+        if action == "drop":
+            return
+        if action == "delay" and extra_delay > 0:
+            timer = threading.Timer(extra_delay, channel.send_message, args=(msg,))
+            timer.daemon = True
+            timer.start()
+            return
+        channel.send_message(msg)  # False (dead peer) = black hole
+
+    def _note_death(self, rank: int, send: Any, reason: str) -> None:
+        if rank in self._down:
+            return
+        self._down.add(rank)
+        channel = self.channels.get(rank)
+        if channel is not None and not channel.closed:
+            channel.close()
+        self.lc.note_rank_death(rank, send, self._now(), reason=reason)
+
+    def _poll_deaths(self, send: Any) -> None:
+        for rank, proc in self.procs.items():
+            if rank in self._down or proc.is_alive():
+                continue
+            if self.lc.finished:
+                return
+            self._note_death(rank, send, reason=f"process exited (code {proc.exitcode})")
+
+    def _wait_readable(self, timeout: float) -> None:
+        waitable = []
+        for rank, channel in self.channels.items():
+            if rank in self._down or channel.closed:
+                continue
+            transport = channel.transport
+            obj = getattr(transport, "conn", None) or getattr(transport, "sock", None)
+            if obj is not None:
+                waitable.append(obj)
+        if waitable:
+            multiprocessing.connection.wait(waitable, timeout)
+        else:
+            time.sleep(timeout)
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self) -> None:
+        lc = self.lc
+        self._t0 = time.perf_counter()
+        self._launch()
+        send = make_retrying_send(self._lc_send_raw, self.config, self.injector, real_time=True)
+        lc.start(send, 0.0)
+        poll = max(self.config.net_poll_interval, 1e-4)
+        tracer = self.tracer
+        while not lc.finished:
+            now = self._now()
+            if now >= self.config.time_limit or lc.nodes_processed_total() >= self.config.node_limit:
+                lc.interrupt(send, now)
+                break
+            progressed = False
+            for rank in sorted(self.channels):
+                if rank in self._down or lc.finished:
+                    continue
+                channel = self.channels[rank]
+                while not lc.finished:
+                    try:
+                        msg = channel.recv(0.0)
+                    except TransportClosedError:
+                        self._note_death(rank, send, reason="connection closed")
+                        break
+                    if msg is None:
+                        break
+                    progressed = True
+                    now = self._now()
+                    if tracer.enabled:
+                        tracer.emit(now, "deliver", LOAD_COORDINATOR_RANK, src=msg.src, tag=msg.tag.value)
+                    if isinstance(msg.payload, dict) and "busy_wall" in msg.payload:
+                        self._busy[msg.src] = float(msg.payload["busy_wall"])
+                    lc.handle_message(msg, send, now)
+                    lc.on_tick(send, now)
+            if lc.finished:
+                break
+            self._poll_deaths(send)
+            lc.on_tick(send, self._now())
+            if not progressed:
+                self._wait_readable(poll)
+        self._shutdown()
+        lc.stats.solver_busy = dict(self._busy)
+        self.injector.export_stats(lc.stats)
+        span = lc.stats.computing_time or self._now()
+        total = span * max(len(self.solvers), 1)
+        busy = sum(min(b, span) for b in self._busy.values())
+        lc.metrics.set("idle_ratio", max(0.0, 1.0 - busy / total) if total > 0 else 0.0)
+
+    def _shutdown(self) -> None:
+        """Give children the grace period to honor TERMINATION, then reap."""
+        deadline = time.monotonic() + self.config.net_shutdown_grace
+        for proc in self.procs.values():
+            proc.join(timeout=max(deadline - time.monotonic(), 0.1))
+        for rank, proc in self.procs.items():
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(timeout=5.0)
+        for channel in self.channels.values():
+            if not channel.closed:
+                channel.close()

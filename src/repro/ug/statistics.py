@@ -51,6 +51,15 @@ class UGStatistics:
     send_retries: int = 0  # transient CommErrors absorbed by the retry wrapper
     faults_injected: int = 0  # total FaultPlan events that fired
 
+    # wire traffic (codec-backed paths: ThreadEngine delivery, loopback
+    # and process engines; the SimEngine has no wire so these stay 0)
+    net_frames_sent: int = 0
+    net_frames_received: int = 0
+    net_bytes_sent: int = 0
+    net_bytes_received: int = 0
+    net_decode_errors: int = 0  # malformed frames rejected by the codec
+    net_queue_peak: int = 0  # high-water mark of a bounded outbound queue
+
     @property
     def surviving_solvers(self) -> int:
         """Solvers still alive at the end of the run (graceful degradation)."""
