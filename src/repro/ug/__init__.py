@@ -39,6 +39,8 @@ Naming follows the paper: an instantiated solver is
 ``ug[SteinerJack, MPI]`` (the ProcessEngine).
 """
 
+from typing import Any
+
 from repro.ug.para_node import ParaNode
 from repro.ug.para_solution import ParaSolution
 from repro.ug.messages import Message, MessageTag, SeqStamper
@@ -75,4 +77,29 @@ __all__ = [
     "CheckpointFault",
     "SendFault",
     "FrameFault",
+    "ClusterEvent",
+    "ClusterPlan",
+    "ClusterSupervisor",
+    "RankWatchdog",
+    "RestartPolicy",
 ]
+
+# the elastic cluster runtime pulls in the process engine (multiprocessing
+# machinery) — exported lazily like the engines in repro.ug.net
+_LAZY = {
+    "ClusterEvent": "repro.ug.cluster",
+    "ClusterPlan": "repro.ug.cluster",
+    "ClusterSupervisor": "repro.ug.cluster",
+    "RankWatchdog": "repro.ug.cluster",
+    "RestartPolicy": "repro.ug.cluster",
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

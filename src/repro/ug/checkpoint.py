@@ -84,6 +84,22 @@ def _rotate_backups(target: Path, retain: int) -> None:
     os.replace(target, backup_path(target, 1))
 
 
+def rank_provenance(nodes: list[ParaNode]) -> dict[str, int]:
+    """Histogram of primitive nodes by the rank that last held them.
+
+    Rank 0 is the LoadCoordinator (a node never assigned, e.g. the root on
+    a fresh run).  Recorded in every checkpoint's meta block so a restart
+    onto a different cluster shape can still say where the saved frontier
+    came from — and :func:`repro.verify.audit_restart_coverage` can check
+    the restored pool covers it node for node.
+    """
+    hist: dict[str, int] = {}
+    for node in nodes:
+        key = str(getattr(node, "origin_rank", 0))
+        hist[key] = hist.get(key, 0) + 1
+    return hist
+
+
 def save_checkpoint(
     path: str | os.PathLike,
     nodes: list[ParaNode],
@@ -111,6 +127,7 @@ def save_checkpoint(
             "transferred_nodes": getattr(stats, "transferred_nodes", 0),
             "solver_failures": getattr(stats, "solver_failures", 0),
             "nodes_reclaimed": getattr(stats, "nodes_reclaimed", 0),
+            "rank_provenance": rank_provenance(nodes),
         },
     }
     if meta:

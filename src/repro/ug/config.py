@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults uses messages only)
+    from repro.ug.cluster import ClusterPlan
     from repro.ug.faults import FaultPlan
 
 
@@ -89,3 +90,56 @@ class UGConfig:
     send_backoff: float = 0.01  # seconds, doubled per retry (ThreadEngine only)
     # deterministic failure schedule executed by the engines (tests/chaos runs)
     fault_plan: FaultPlan | None = None
+
+    # elastic cluster runtime (repro.ug.cluster) ---------------------------
+    # scripted membership changes (rank joins/drains) executed by the
+    # elastic engines; a plan with a RestartPolicy also arms the watchdog
+    cluster_plan: ClusterPlan | None = None
+    # a rank asked to DRAIN that stays silent this long is escalated onto
+    # the death/reclaim path (the drain courtesy has an expiry date)
+    drain_grace: float = 5.0
+
+    def __post_init__(self) -> None:
+        # reject degenerate timing/membership knobs at construction: a
+        # non-positive timeout silently livelocks (or spins) downstream,
+        # which is far harder to diagnose than a ValueError here
+        for name in (
+            "racing_deadline",
+            "status_interval_work",
+            "checkpoint_interval",
+            "time_limit",
+            "latency",
+            "net_poll_interval",
+            "net_connect_timeout",
+            "net_shutdown_grace",
+            "heartbeat_timeout",
+            "drain_grace",
+        ):
+            value = getattr(self, name)
+            if not value > 0:  # also catches NaN
+                raise ValueError(f"UGConfig.{name} must be positive, got {value!r}")
+        for name in (
+            "racing_open_node_threshold",
+            "node_limit",
+            "net_outbound_queue",
+            "trace_capacity",
+        ):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"UGConfig.{name} must be at least 1, got {value!r}")
+        for name in (
+            "pool_buffer",
+            "max_collectors",
+            "net_connect_retries",
+            "max_node_retries",
+            "send_retries",
+            "send_backoff",
+            "checkpoint_retain",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"UGConfig.{name} must be non-negative, got {value!r}")
+        if self.net_transport not in ("pipe", "tcp"):
+            raise ValueError(
+                f"UGConfig.net_transport must be 'pipe' or 'tcp', got {self.net_transport!r}"
+            )

@@ -114,6 +114,16 @@ class UGSolver:
         )
         if recovered_from_backup:
             lc.stats.checkpoints_recovered += 1
+        if restart_from is not None:
+            # shape-changing restart support: the checkpoint may have been
+            # written at a different rank count — audit that the restored
+            # frontier covers the saved one node for node before solving
+            from repro.verify.restart import audit_restart_coverage
+
+            audit_restart_coverage(cp, lc.restored_nodes).raise_if_failed()
+            saved_ranks = cp.meta.get("n_ranks")
+            if saved_ranks is not None and int(saved_ranks) != self.n_solvers:
+                lc.metrics.inc("shape_restarts")
         solvers = {
             rank: ParaSolver(
                 rank,
@@ -133,9 +143,14 @@ class UGSolver:
         elif self.comm == "threads":
             engine = ThreadEngine(lc, solvers, self.config)
         elif self.comm == "process":
-            from repro.ug.net.process_engine import ProcessEngine
+            if self.config.cluster_plan is not None:
+                from repro.ug.cluster import ClusterSupervisor
 
-            engine = ProcessEngine(lc, solvers, self.config)
+                engine = ClusterSupervisor(lc, solvers, self.config)
+            else:
+                from repro.ug.net.process_engine import ProcessEngine
+
+                engine = ProcessEngine(lc, solvers, self.config)
         else:  # "loopback"
             from repro.ug.net.loopback_engine import LoopbackNetEngine
 

@@ -64,6 +64,14 @@ class LoadCoordinator:
         self._pool: list[tuple[float, int, ParaNode]] = []
         self._pool_seq = itertools.count()
         self._lc_ids = itertools.count()
+        # membership is a *runtime* property (repro.ug.cluster): ranks may
+        # join after launch (fresh ids from _next_rank) and leave either
+        # gracefully (DRAIN -> departed) or by dying (-> dead)
+        self.ranks: set[int] = set(range(1, n_solvers + 1))
+        self._next_rank = n_solvers + 1
+        self.draining: set[int] = set()
+        self._drain_requested: dict[int, float] = {}
+        self.departed: set[int] = set()
         self.idle: set[int] = set(range(1, n_solvers + 1))
         self.active: dict[int, ParaNode] = {}
         self.collecting: set[int] = set()
@@ -104,6 +112,13 @@ class LoadCoordinator:
             self.stats.primal_initial = self.incumbent.value
         if self._restart_pool:
             self.stats.dual_initial = min(n.dual_bound for n in self._restart_pool)
+        # immutable snapshot of the restored frontier, so repro.verify can
+        # audit that a (possibly shape-changing) restart covers the saved
+        # checkpoint even after the live nodes are renumbered and assigned
+        self.restored_nodes: tuple[ParaNode, ...] = tuple(
+            ParaNode.from_json(n.to_json()) for n in self._restart_pool
+        )
+        self.metrics.set("peak_ranks", n_solvers)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -126,6 +141,7 @@ class LoadCoordinator:
                 self._settings_of_rank[rank] = ((rank - 1) % len(self._racing_settings)) + 1
                 node = ParaNode(payload=dict(root.payload), dual_bound=root.dual_bound)
                 node.lc_id = next(self._lc_ids)
+                node.origin_rank = rank
                 self.active[rank] = node
                 self._last_heartbeat[rank] = now
                 self.tracer.emit(
@@ -169,6 +185,7 @@ class LoadCoordinator:
                 continue  # pruned by bound
             rank = min(self.idle)
             self.idle.discard(rank)
+            node.origin_rank = rank
             self.active[rank] = node
             self._last_heartbeat[rank] = now
             self.tracer.emit(now, "assign", rank, lc_id=node.lc_id, dual=node.dual_bound)
@@ -212,7 +229,10 @@ class LoadCoordinator:
             def open_count(rank: int) -> int:
                 return int(self._last_status.get(rank, {}).get("n_open", 0))
 
-            candidates = sorted(self.active, key=lambda r: -open_count(r))
+            # never ask a leaving rank to collect — it is already winding down
+            candidates = sorted(
+                (r for r in self.active if r not in self.draining), key=lambda r: -open_count(r)
+            )
             for rank in candidates[: self.config.max_collectors]:
                 self.tracer.emit(self._trace_now, "collect_start", rank, pool=len(self._pool))
                 self.metrics.inc("collect_toggles")
@@ -245,12 +265,15 @@ class LoadCoordinator:
             self._on_solution(payload["solution"], send)
         elif tag is MessageTag.NODE_TRANSFER:
             node: ParaNode = payload["node"]
+            node.origin_rank = int(payload.get("rank", msg.src))
             if (
                 self.incumbent is None
                 or node.dual_bound < self.incumbent.value - self.config.objective_epsilon
             ):
                 self._push_pool(node)
             self._assign(send, now)
+        elif tag is MessageTag.DRAINED:
+            self._on_drained(payload, send, now)
         elif tag is MessageTag.STATUS:
             rank = payload["rank"]
             if rank not in self.active:
@@ -362,7 +385,9 @@ class LoadCoordinator:
         )
         if not (deadline_hit or threshold_hit):
             return
-        contenders = [r for r in self.active if r not in self._terminated_racers]
+        contenders = [
+            r for r in self.active if r not in self._terminated_racers and r not in self.draining
+        ]
         if not contenders:
             return
         # winner: best (highest) dual bound, more open nodes breaks ties
@@ -396,8 +421,134 @@ class LoadCoordinator:
     # -- failure detection and recovery ------------------------------------------
 
     def live_solvers(self) -> set[int]:
-        """Ranks not declared dead."""
-        return set(range(1, self.n_solvers + 1)) - self.dead
+        """Current members not declared dead (departed ranks left the set)."""
+        return self.ranks - self.dead
+
+    # -- elastic membership (repro.ug.cluster) ------------------------------------
+
+    def next_rank_id(self) -> int:
+        """A fresh rank id for a joiner; never reuses a past member's id."""
+        return self._next_rank
+
+    def note_rank_join(self, send: SendFn, now: float, rank: int | None = None) -> int:
+        """Admit a new rank into the running solve.
+
+        The engine has already wired the rank's channel; here it becomes a
+        member: welcome packet (current incumbent + the settings a launch
+        rank would use, e.g. the racing winner's ParamSet), then straight
+        into the idle set so the next :meth:`_assign` can feed it.
+        """
+        if rank is None:
+            rank = self._next_rank
+        if rank in self.ranks or rank in self.departed:
+            raise ValueError(f"rank {rank} was already a member of this run")
+        if self.finished:
+            return rank
+        self._next_rank = max(self._next_rank, rank + 1)
+        self._trace_now = now
+        self.ranks.add(rank)
+        self.idle.add(rank)
+        self._last_heartbeat[rank] = now
+        self.metrics.inc("ranks_joined")
+        self.metrics.maximize("peak_ranks", len(self.live_solvers()))
+        self.tracer.emit(now, "rank_join", rank, live=len(self.live_solvers()))
+        send(
+            rank,
+            MessageTag.JOIN,
+            {"incumbent": self._incumbent_value(), "settings": self._solver_params(rank)},
+        )
+        self._assign(send, now)
+        return rank
+
+    def request_drain(self, rank: int, send: SendFn, now: float) -> None:
+        """Ask ``rank`` to leave gracefully (voluntary scale-down).
+
+        The rank answers with DRAINED carrying its in-flight node, which
+        re-enters the pool *without* burning a ``max_node_retries`` attempt
+        — unlike a crash, nothing was lost.  A drain unanswered for
+        ``config.drain_grace`` escalates onto the death/reclaim path.
+        """
+        if self.finished or rank in self.dead or rank in self.departed or rank in self.draining:
+            return
+        if rank not in self.ranks:
+            return
+        self._trace_now = now
+        self.draining.add(rank)
+        self._drain_requested[rank] = now
+        # no new work for a leaving rank
+        self.idle.discard(rank)
+        self.collecting.discard(rank)
+        self.metrics.inc("drains_requested")
+        self.tracer.emit(now, "drain_request", rank, active=rank in self.active)
+        send(rank, MessageTag.DRAIN, None)
+
+    def _on_drained(self, payload: dict[str, Any], send: SendFn, now: float) -> None:
+        """A rank confirmed its drain: requeue its node, retire the rank."""
+        rank = payload["rank"]
+        if rank in self.dead or rank in self.departed:
+            return
+        if "nodes_processed" in payload:
+            self._nodes_processed[rank] = payload["nodes_processed"]
+        was_contender = (
+            self._racing and rank in self.active and rank not in self._terminated_racers
+        )
+        self.active.pop(rank, None)
+        node = payload.get("node")
+        requeued = False
+        # racing roots are copies of the same subproblem — survivors still
+        # cover the tree, so a draining racer's node is not requeued
+        if node is not None and not self._racing:
+            if (
+                self.incumbent is None
+                or node.dual_bound < self.incumbent.value - self.config.objective_epsilon
+            ):
+                node.origin_rank = rank
+                self._push_pool(node, renumber=True)
+                self.metrics.inc("nodes_returned")
+                requeued = True
+        self.ranks.discard(rank)
+        self.departed.add(rank)
+        self.draining.discard(rank)
+        self._drain_requested.pop(rank, None)
+        self.idle.discard(rank)
+        self.collecting.discard(rank)
+        self._last_status.pop(rank, None)
+        self._solver_dual.pop(rank, None)
+        self._last_heartbeat.pop(rank, None)
+        self._terminated_racers.discard(rank)
+        self.metrics.inc("ranks_drained")
+        self.tracer.emit(now, "rank_drained", rank, requeued=requeued, live=len(self.live_solvers()))
+        if not self.live_solvers():
+            # the whole fleet left — nobody to feed; stop (honestly: a
+            # non-empty pool keeps the run from claiming completeness)
+            if self._racing:
+                self._racing = False
+                self._forfeit_racing_root()
+            self._broadcast_termination(send, now)
+            return
+        if self._racing:
+            if was_contender and not [
+                r for r in self.active if r not in self._terminated_racers
+            ]:
+                self._racing = False
+                self._forfeit_racing_root()
+                self._broadcast_termination(send, now)
+            return
+        self._assign(send, now)
+
+    def _check_drains(self, send: SendFn, now: float) -> None:
+        """Escalate drains the rank never answered (crashed mid-drain?)."""
+        if not self.draining or self.finished:
+            return
+        for rank in sorted(self.draining):
+            if now - self._drain_requested.get(rank, now) > self.config.drain_grace:
+                self.draining.discard(rank)
+                self._drain_requested.pop(rank, None)
+                self.metrics.inc("drain_timeouts")
+                self.tracer.emit(now, "drain_timeout", rank)
+                self._mark_dead(rank, send, now)
+                if self.finished:
+                    return
 
     def _forfeit_racing_root(self) -> None:
         """No contender will ever finish exploring the racing root.
@@ -449,6 +600,8 @@ class LoadCoordinator:
             self._reclaim_active_node(rank)
         self.idle.discard(rank)
         self.collecting.discard(rank)
+        self.draining.discard(rank)
+        self._drain_requested.pop(rank, None)
         self._last_status.pop(rank, None)
         self._solver_dual.pop(rank, None)
         self._last_heartbeat.pop(rank, None)
@@ -479,6 +632,10 @@ class LoadCoordinator:
         both detection mechanisms share one recovery story.
         """
         if rank in self.dead or self.finished:
+            return
+        if rank not in self.ranks:
+            # a departed rank's connection closing is the tail end of a
+            # graceful drain, not a death — nothing to reclaim
             return
         self._trace_now = now
         self.tracer.emit(now, "rank_death_observed", rank, reason=reason)
@@ -512,6 +669,9 @@ class LoadCoordinator:
         self._check_heartbeats(send, now)
         if self.finished:
             return
+        self._check_drains(send, now)
+        if self.finished:
+            return
         if self._racing and now >= self.config.racing_deadline:
             self._maybe_finish_racing(send, now)
         if (
@@ -533,7 +693,7 @@ class LoadCoordinator:
     def _broadcast_termination(self, send: SendFn, now: float) -> None:
         self.finished = True
         self.tracer.emit(now, "terminate", 0, pool=len(self._pool), active=len(self.active))
-        for rank in range(1, self.n_solvers + 1):
+        for rank in sorted(self.ranks):
             send(rank, MessageTag.TERMINATION, None)
         self._finalize_stats(now)
 
@@ -559,6 +719,7 @@ class LoadCoordinator:
             + sum(int(self._last_status.get(r, {}).get("n_open", 0)) for r in self.active),
         )
         m.set("nodes_generated", sum(self._nodes_processed.values()))
+        m.set("final_ranks", len(self.live_solvers()))
 
     @property
     def proven_complete(self) -> bool:
@@ -600,6 +761,9 @@ class LoadCoordinator:
             "incumbent_value": self._incumbent_value(),
             "dual_bound": self.global_dual_bound(),
             "solvers_alive": len(self.live_solvers()),
+            # rank-count provenance: lets a restart know the checkpoint's
+            # cluster shape (and repro.verify flag shape-changing restores)
+            "n_ranks": len(self.live_solvers()),
         }
         nodes = self.primitive_nodes()
         with self.metrics.timer("checkpoint_write_seconds").time():

@@ -23,6 +23,10 @@ class MessageTag(enum.Enum):
     STATUS = "status"
     TERMINATED = "terminated"
     NODE_TRANSFER = "nodeTransfer"
+    # elastic membership (repro.ug.cluster)
+    DRAIN = "drain"  # Supervisor -> Worker: finish or hand back, then leave
+    DRAINED = "drained"  # Worker -> Supervisor: leaving; carries the in-flight node
+    JOIN = "join"  # Supervisor -> Worker: welcome packet (incumbent + settings)
 
 
 #: every Worker -> Supervisor message doubles as a liveness heartbeat: the
@@ -30,7 +34,13 @@ class MessageTag(enum.Enum):
 #: heartbeat message (and no extra traffic) is needed — STATUS cadence
 #: bounds the detection latency.
 HEARTBEAT_TAGS = frozenset(
-    {MessageTag.SOLUTION_FOUND, MessageTag.STATUS, MessageTag.TERMINATED, MessageTag.NODE_TRANSFER}
+    {
+        MessageTag.SOLUTION_FOUND,
+        MessageTag.STATUS,
+        MessageTag.TERMINATED,
+        MessageTag.NODE_TRANSFER,
+        MessageTag.DRAINED,
+    }
 )
 
 #: tags still honoured from a rank already declared dead — a solution is a

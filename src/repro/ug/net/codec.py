@@ -65,6 +65,9 @@ _TAG_TO_CODE: dict[MessageTag, int] = {
     MessageTag.STATUS: 10,
     MessageTag.TERMINATED: 11,
     MessageTag.NODE_TRANSFER: 12,
+    MessageTag.DRAIN: 13,
+    MessageTag.DRAINED: 14,
+    MessageTag.JOIN: 15,
 }
 _CODE_TO_TAG = {code: tag for tag, code in _TAG_TO_CODE.items()}
 

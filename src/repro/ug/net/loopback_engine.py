@@ -22,6 +22,7 @@ from typing import Any
 
 from repro.exceptions import CommError
 from repro.obs.trace import Tracer
+from repro.ug.cluster import ClusterPlan, RankWatchdog
 from repro.ug.config import UGConfig
 from repro.ug.faults import FaultInjector, make_retrying_send
 from repro.ug.load_coordinator import LoadCoordinator
@@ -63,28 +64,41 @@ class LoopbackNetEngine:
         # wire endpoints: lc <-> rank, one loopback pair per rank
         self.lc_channels: dict[int, MessageChannel] = {}
         self.rank_channels: dict[int, MessageChannel] = {}
-        lc_stamper = SeqStamper()
+        self._lc_stamper = SeqStamper()
         for rank in solvers:
-            lc_end, rank_end = LoopbackTransport.pair()
-            self.lc_channels[rank] = MessageChannel(
-                lc_end,
-                local_rank=LOAD_COORDINATOR_RANK,
-                remote_rank=rank,
-                stamper=lc_stamper,
-                injector=self.injector,
-                metrics=lc.metrics,
-                tracer=self.tracer,
-                clock=lambda: self.now,
-            )
-            self.rank_channels[rank] = MessageChannel(
-                rank_end,
-                local_rank=rank,
-                remote_rank=LOAD_COORDINATOR_RANK,
-                stamper=SeqStamper(),
-                injector=self.injector,
-                tracer=self.tracer,
-                clock=lambda: self.now,
-            )
+            self._wire_rank(rank)
+        # elastic membership: scripted joins/drains ride virtual time, and
+        # the watchdog (if any) books deterministic replacement joins
+        plan = config.cluster_plan or ClusterPlan()
+        self._events = plan.sorted_events()
+        self.watchdog = (
+            RankWatchdog(plan.restart_policy, clock=lambda: self.now)
+            if plan.restart_policy is not None
+            else None
+        )
+        self._death_seen: set[int] = set()
+
+    def _wire_rank(self, rank: int) -> None:
+        lc_end, rank_end = LoopbackTransport.pair()
+        self.lc_channels[rank] = MessageChannel(
+            lc_end,
+            local_rank=LOAD_COORDINATOR_RANK,
+            remote_rank=rank,
+            stamper=self._lc_stamper,
+            injector=self.injector,
+            metrics=self.lc.metrics,
+            tracer=self.tracer,
+            clock=lambda: self.now,
+        )
+        self.rank_channels[rank] = MessageChannel(
+            rank_end,
+            local_rank=rank,
+            remote_rank=LOAD_COORDINATOR_RANK,
+            stamper=SeqStamper(),
+            injector=self.injector,
+            tracer=self.tracer,
+            clock=lambda: self.now,
+        )
 
     # -- send paths ------------------------------------------------------------
 
@@ -154,6 +168,9 @@ class LoopbackNetEngine:
             if self.now >= self.config.time_limit or self._nodes_total >= self.config.node_limit:
                 lc.interrupt(lc_send, self.now)
                 break
+            progressed = self._membership_tick(lc_send) or progressed
+            if lc.finished:
+                break
             round_work = 0.0
             for rank in sorted(self.solvers):
                 if lc.finished:
@@ -187,6 +204,69 @@ class LoopbackNetEngine:
         lc.stats.solver_busy = dict(self._busy)
         self.injector.export_stats(lc.stats)
         self._compute_idle_ratio()
+
+    # -- elastic membership ------------------------------------------------------
+
+    def _membership_tick(self, lc_send: Any) -> bool:
+        """Fire due scripted joins/drains and watchdog replacements."""
+        lc = self.lc
+        progressed = False
+        # feed newly observed deaths (heartbeat- or crash-detected) to the
+        # watchdog so a deterministic replacement join gets booked
+        for rank in sorted(lc.dead - self._death_seen):
+            self._death_seen.add(rank)
+            if self.watchdog is not None:
+                self.watchdog.note_death(rank, self.now)
+        while self._events and self._events[0].at_time <= self.now:
+            ev = self._events.pop(0)
+            if lc.finished:
+                return progressed
+            if ev.action == "join":
+                self._join_rank(lc_send, ev.rank)
+                progressed = True
+            else:
+                target = ev.rank
+                if target is None:
+                    candidates = lc.live_solvers() - lc.draining
+                    target = max(candidates) if candidates else None
+                if target is not None:
+                    lc.request_drain(target, lc_send, self.now)
+                    progressed = True
+        if self.watchdog is not None:
+            for root in self.watchdog.due(self.now):
+                if lc.finished:
+                    return progressed
+                rank = self._join_rank(lc_send, None)
+                lc.metrics.inc("ranks_restarted")
+                self.watchdog.bind(rank, root)
+                self.tracer.emit(self.now, "rank_restart", rank, root=root)
+                progressed = True
+        return progressed
+
+    def _join_rank(self, lc_send: Any, rank: int | None = None) -> int:
+        """Admit a fresh rank mid-solve: a new ParaSolver built from the
+        run identity (presolved instance, base params, seed), wired over a
+        fresh loopback pair, welcomed by the LoadCoordinator."""
+        lc = self.lc
+        if rank is None:
+            rank = lc.next_rank_id()
+        solver = ParaSolver(
+            rank=rank,
+            instance=lc.instance,
+            user_plugins=lc.user_plugins,
+            params=lc.params,
+            seed=lc.seed,
+            status_interval_work=self.config.status_interval_work,
+            min_open_to_shed=self.config.min_open_to_shed,
+            objective_epsilon=self.config.objective_epsilon,
+        )
+        # attach_run_tracer only saw launch-time solvers
+        solver.tracer = self.tracer
+        self.solvers[rank] = solver
+        self._wire_rank(rank)
+        self._busy.setdefault(rank, 0.0)
+        lc.note_rank_join(lc_send, self.now, rank=rank)
+        return rank
 
     # -- per-component pumps -----------------------------------------------------
 

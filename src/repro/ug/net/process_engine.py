@@ -23,8 +23,8 @@ sockets, no handles — TCP children dial back and authenticate).
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
-import struct
 import threading
 import time
 from dataclasses import dataclass
@@ -43,6 +43,10 @@ from repro.ug.net.transport import (
     TcpTransport,
     Transport,
     TransportClosedError,
+    make_hello_token,
+    recv_hello,
+    send_hello,
+    hello_token_matches,
     tcp_listener,
 )
 from repro.ug.para_solver import ParaSolver
@@ -52,8 +56,6 @@ from repro.ug.user_plugins import UserPlugins
 EXIT_OK = 0
 EXIT_COMM_LOST = 13  # parent vanished mid-run
 EXIT_INJECTED_CRASH = 42  # FaultPlan SolverCrash fired inside the child
-
-_HELLO = struct.Struct("!iI")  # rank, shared-secret token
 
 
 @dataclass
@@ -68,7 +70,7 @@ class _SolverSpec:
     config: UGConfig
     # TCP mode only: dial-back coordinates; None means a Pipe rides along
     tcp_addr: tuple[str, int] | None = None
-    tcp_token: int = 0
+    tcp_token: bytes = b""
 
 
 def _child_transport(spec: _SolverSpec, conn: Any) -> Transport:
@@ -80,10 +82,11 @@ def _child_transport(spec: _SolverSpec, conn: Any) -> Transport:
         connect_timeout=spec.config.net_connect_timeout,
         connect_retries=spec.config.net_connect_retries,
         max_outbound=spec.config.net_outbound_queue,
+        jitter_seed=spec.rank,
     )
     # authenticate before any protocol frame: the listener drops dialers
     # that don't present the run's token with the right rank
-    transport.sock.sendall(_HELLO.pack(spec.rank, spec.tcp_token))
+    send_hello(transport.sock, spec.rank, spec.tcp_token)
     return transport
 
 
@@ -98,6 +101,16 @@ def _worker_main(spec: _SolverSpec, conn: Any) -> None:
     # _exit: skip atexit/teardown races in a dying worker — the parent
     # only cares about the code
     os._exit(code)
+
+
+def _graceful_exit(channel: MessageChannel) -> int:
+    """Flush before leaving: a TCP worker's last frames (DRAINED, final
+    TERMINATED) sit in the sender thread's bounded queue — ``close()``
+    drains it before shutting the socket, so a graceful exit never loses
+    its goodbye.  Injected crashes skip this on purpose: they must look
+    like a kill, not a leave."""
+    channel.close()
+    return EXIT_OK
 
 
 def _worker_loop(spec: _SolverSpec, conn: Any) -> int:
@@ -146,7 +159,7 @@ def _worker_loop(spec: _SolverSpec, conn: Any) -> int:
                     break
                 solver.handle_message(msg, send)
                 if solver.state == "terminated":
-                    return EXIT_OK
+                    return _graceful_exit(channel)
             if not solver.is_busy:
                 continue
             t_work = time.perf_counter()
@@ -156,7 +169,7 @@ def _worker_loop(spec: _SolverSpec, conn: Any) -> int:
             msg = channel.recv(poll)
             if msg is not None:
                 solver.handle_message(msg, send)
-    return EXIT_OK
+    return _graceful_exit(channel)
 
 
 class ProcessEngine:
@@ -182,64 +195,83 @@ class ProcessEngine:
         self._busy: dict[int, float] = {r: 0.0 for r in solvers}
         self._down: set[int] = set()
         self._t0 = 0.0
+        # launch plumbing kept on self so a rank can also be spawned
+        # *after* launch (ClusterSupervisor joins)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._lc_stamper = SeqStamper()
+        self._mode = ""
+        self._listener: Any = None
+        self._tcp_addr: tuple[str, int] | None = None
+        self._token = b""
 
     # -- launch ------------------------------------------------------------------
 
-    def _spec_for(self, rank: int, tcp_addr: tuple[str, int] | None, token: int) -> _SolverSpec:
-        solver = self.solvers[rank]
+    def _spec_for(self, rank: int, tcp_addr: tuple[str, int] | None, token: bytes) -> _SolverSpec:
+        # launch ranks carry their template's identity; a late joiner has
+        # no template, so it inherits the LoadCoordinator's run identity
+        # (presolved instance, base params, seed)
+        solver = self.solvers.get(rank)
         return _SolverSpec(
             rank=rank,
-            instance=solver.instance,
-            user_plugins=solver.user_plugins,
-            params=solver.base_params,
-            seed=solver.seed,
+            instance=solver.instance if solver is not None else self.lc.instance,
+            user_plugins=solver.user_plugins if solver is not None else self.lc.user_plugins,
+            params=solver.base_params if solver is not None else self.lc.params,
+            seed=solver.seed if solver is not None else self.lc.seed,
             config=self.config,
             tcp_addr=tcp_addr,
             tcp_token=token,
         )
 
     def _launch(self) -> None:
-        ctx = multiprocessing.get_context("spawn")
-        lc_stamper = SeqStamper()
         mode = self.config.net_transport
         if mode not in ("pipe", "tcp"):
             raise CommError(f"unknown net_transport {mode!r} (want 'pipe' or 'tcp')")
-        listener = None
-        tcp_addr: tuple[str, int] | None = None
-        token = 0
+        self._mode = mode
         if mode == "tcp":
-            listener = tcp_listener()
-            tcp_addr = listener.getsockname()
-            token = int.from_bytes(os.urandom(4), "big")
+            self._listener = tcp_listener()
+            self._tcp_addr = self._listener.getsockname()
+            self._token = make_hello_token()
         for rank in sorted(self.solvers):
-            if mode == "pipe":
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(self._spec_for(rank, None, 0), child_conn),
-                    name=f"ParaSolver-{rank}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                transport: Transport = PipeTransport(parent_conn)
-                self.channels[rank] = self._make_channel(rank, transport, lc_stamper)
-            else:
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(self._spec_for(rank, tcp_addr, token), None),
-                    name=f"ParaSolver-{rank}",
-                    daemon=True,
-                )
-                proc.start()
-            self.procs[rank] = proc
-        if listener is not None:
+            self._spawn_rank(rank)
+        if self._listener is not None:
             try:
-                self._accept_tcp(listener, token, lc_stamper)
+                self._accept_tcp(self._listener, self._token, self._lc_stamper)
             finally:
-                listener.close()
+                self._close_listener()
 
-    def _accept_tcp(self, listener: Any, token: int, stamper: SeqStamper) -> None:
+    def _spawn_rank(self, rank: int) -> None:
+        """Fork one worker process; pipe mode wires its channel immediately,
+        TCP mode waits for the dial-back."""
+        if self._mode == "pipe":
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(self._spec_for(rank, None, b""), child_conn),
+                name=f"ParaSolver-{rank}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            transport: Transport = PipeTransport(parent_conn)
+            self.channels[rank] = self._make_channel(rank, transport, self._lc_stamper)
+        else:
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(self._spec_for(rank, self._tcp_addr, self._token), None),
+                name=f"ParaSolver-{rank}",
+                daemon=True,
+            )
+            proc.start()
+        self.procs[rank] = proc
+
+    def _close_listener(self) -> None:
+        """Initial accepts done; the static engine needs no more dial-ins.
+        (The ClusterSupervisor overrides this to keep admitting joiners.)"""
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def _accept_tcp(self, listener: Any, token: bytes, stamper: SeqStamper) -> None:
         deadline = time.monotonic() + self.config.net_connect_timeout * max(len(self.solvers), 1)
         listener.settimeout(1.0)
         while len(self.channels) < len(self.solvers):
@@ -250,22 +282,16 @@ class ProcessEngine:
                 sock, _addr = listener.accept()
             except OSError:
                 continue
-            hello = b""
-            sock.settimeout(self.config.net_connect_timeout)
-            try:
-                while len(hello) < _HELLO.size:
-                    chunk = sock.recv(_HELLO.size - len(hello))
-                    if not chunk:
-                        break
-                    hello += chunk
-            except OSError:
+            hello = recv_hello(sock, self.config.net_connect_timeout)
+            if hello is None:
                 sock.close()
                 continue
-            if len(hello) < _HELLO.size:
-                sock.close()
-                continue
-            rank, got_token = _HELLO.unpack(hello)
-            if got_token != token or rank not in self.solvers or rank in self.channels:
+            rank, got_token = hello
+            if (
+                not hello_token_matches(got_token, token)
+                or rank not in self.solvers
+                or rank in self.channels
+            ):
                 sock.close()  # stranger (or duplicate): not our worker
                 continue
             sock.settimeout(None)
@@ -315,12 +341,47 @@ class ProcessEngine:
         self.lc.note_rank_death(rank, send, self._now(), reason=reason)
 
     def _poll_deaths(self, send: Any) -> None:
-        for rank, proc in self.procs.items():
+        lc = self.lc
+        for rank, proc in list(self.procs.items()):
             if rank in self._down or proc.is_alive():
                 continue
-            if self.lc.finished:
+            if lc.finished:
                 return
+            if rank in lc.draining:
+                # graceful exit in flight: its DRAINED may still sit in the
+                # pipe — deliver before classifying the exit
+                self._drain_channel(rank, send)
+            if rank in lc.departed:
+                # drain completed: retire the channel without a death note
+                self._down.add(rank)
+                channel = self.channels.get(rank)
+                if channel is not None and not channel.closed:
+                    channel.close()
+                continue
             self._note_death(rank, send, reason=f"process exited (code {proc.exitcode})")
+
+    def _drain_channel(self, rank: int, send: Any) -> None:
+        """Deliver whatever frames an exited rank left buffered."""
+        channel = self.channels.get(rank)
+        if channel is None or channel.closed:
+            return
+        lc = self.lc
+        while not lc.finished:
+            try:
+                msg = channel.recv(0.0)
+            except TransportClosedError:
+                return
+            if msg is None:
+                return
+            now = self._now()
+            if isinstance(msg.payload, dict) and "busy_wall" in msg.payload:
+                self._busy[msg.src] = float(msg.payload["busy_wall"])
+            lc.handle_message(msg, send, now)
+            lc.on_tick(send, now)
+
+    def _membership_tick(self, send: Any) -> None:
+        """Hook for runtime membership changes (no-op in the static engine;
+        the ClusterSupervisor admits joiners and fires drains here)."""
 
     def _wait_readable(self, timeout: float) -> None:
         waitable = []
@@ -350,6 +411,9 @@ class ProcessEngine:
             now = self._now()
             if now >= self.config.time_limit or lc.nodes_processed_total() >= self.config.node_limit:
                 lc.interrupt(send, now)
+                break
+            self._membership_tick(send)
+            if lc.finished:
                 break
             progressed = False
             for rank in sorted(self.channels):
@@ -382,7 +446,7 @@ class ProcessEngine:
         lc.stats.solver_busy = dict(self._busy)
         self.injector.export_stats(lc.stats)
         span = lc.stats.computing_time or self._now()
-        total = span * max(len(self.solvers), 1)
+        total = span * max(len(self.procs), 1)  # every rank ever launched
         busy = sum(min(b, span) for b in self._busy.values())
         lc.metrics.set("idle_ratio", max(0.0, 1.0 - busy / total) if total > 0 else 0.0)
 

@@ -18,7 +18,10 @@ knows nothing about the wire codec above it.  Three implementations:
 from __future__ import annotations
 
 import collections
+import hmac
+import os
 import queue
+import random
 import socket
 import struct
 import threading
@@ -34,6 +37,68 @@ class TransportClosedError(CommError):
 
 class BackpressureError(CommError):
     """The bounded outbound queue stayed full past the send timeout."""
+
+
+# -- retry backoff ----------------------------------------------------------------
+
+#: hard ceiling on any single retry sleep; 2**attempt alone grows unbounded
+DEFAULT_BACKOFF_CAP = 2.0
+
+
+def backoff_delay(base: float, attempt: int, cap: float = DEFAULT_BACKOFF_CAP, seed: int = 0) -> float:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    The delay for retry ``attempt`` (1-based) is ``base * 2**(attempt-1)``
+    clamped to ``cap``, scaled by a jitter factor in [0.5, 1.0) drawn from
+    a PRNG keyed on ``seed`` and ``attempt`` — the same seed always yields
+    the same schedule, so virtual-time engines (and the cluster watchdog)
+    replay bit-identically while real TCP retries still de-synchronize.
+    """
+    raw = min(base * (2 ** max(attempt - 1, 0)), cap)
+    jitter = random.Random(seed * 2_654_435_761 + attempt).random()
+    return raw * (0.5 + 0.5 * jitter)
+
+
+# -- rank/token hello handshake ----------------------------------------------------
+
+#: shared-secret size for the TCP hello; compared timing-safely below
+TOKEN_BYTES = 16
+
+_HELLO = struct.Struct(f"!i{TOKEN_BYTES}s")  # rank, shared-secret token
+
+HELLO_SIZE = _HELLO.size
+
+
+def make_hello_token() -> bytes:
+    """A fresh per-run shared secret for the TCP hello handshake."""
+    return os.urandom(TOKEN_BYTES)
+
+
+def send_hello(sock: socket.socket, rank: int, token: bytes) -> None:
+    """Authenticate a dial-in: ship ``(rank, token)`` before any frame."""
+    sock.sendall(_HELLO.pack(rank, token))
+
+
+def recv_hello(sock: socket.socket, timeout: float) -> tuple[int, bytes] | None:
+    """Read one hello off a freshly accepted socket, or None on a short
+    read/timeout (the caller drops the stranger)."""
+    sock.settimeout(timeout)
+    buf = b""
+    try:
+        while len(buf) < HELLO_SIZE:
+            chunk = sock.recv(HELLO_SIZE - len(buf))
+            if not chunk:
+                return None
+            buf += chunk
+    except OSError:
+        return None
+    rank, token = _HELLO.unpack(buf)
+    return rank, token
+
+
+def hello_token_matches(got: bytes, expected: bytes) -> bool:
+    """Timing-safe token comparison (``hmac.compare_digest``, not ``==``)."""
+    return hmac.compare_digest(bytes(got), bytes(expected))
 
 
 class Transport:
@@ -178,12 +243,16 @@ class TcpTransport(Transport):
         send_timeout: float = 30.0,
         send_retries: int = 3,
         backoff: float = 0.05,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        jitter_seed: int = 0,
     ) -> None:
         self.sock = sock
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.send_timeout = send_timeout
         self.send_retries = send_retries
         self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.jitter_seed = jitter_seed
         self._closed = False
         self._error: Exception | None = None
         self._rbuf = bytearray()
@@ -202,23 +271,28 @@ class TcpTransport(Transport):
         connect_timeout: float = 5.0,
         connect_retries: int = 5,
         backoff: float = 0.05,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        jitter_seed: int = 0,
         **kwargs: Any,
     ) -> "TcpTransport":
-        """Dial ``host:port``, retrying transient refusals with backoff
-        (the listener may not be up yet when a spawned rank dials in)."""
+        """Dial ``host:port``, retrying transient refusals with capped,
+        jittered backoff (the listener may not be up yet when a spawned
+        rank dials in)."""
         attempt = 0
         while True:
             try:
                 sock = socket.create_connection((host, port), timeout=connect_timeout)
                 sock.settimeout(None)
-                return cls(sock, backoff=backoff, **kwargs)
+                return cls(
+                    sock, backoff=backoff, backoff_cap=backoff_cap, jitter_seed=jitter_seed, **kwargs
+                )
             except (ConnectionRefusedError, ConnectionResetError, socket.timeout, TimeoutError) as exc:
                 attempt += 1
                 if attempt > connect_retries:
                     raise TransportClosedError(
                         f"cannot connect to {host}:{port} after {attempt} attempts: {exc}"
                     ) from exc
-                time.sleep(backoff * (2 ** (attempt - 1)))
+                time.sleep(backoff_delay(backoff, attempt, cap=backoff_cap, seed=jitter_seed))
 
     # -- sending ---------------------------------------------------------------
 
@@ -249,7 +323,9 @@ class TcpTransport(Transport):
                     if attempt > self.send_retries:
                         self._error = TransportClosedError("send retries exhausted")
                         return
-                    time.sleep(self.backoff * (2 ** (attempt - 1)))
+                    time.sleep(
+                        backoff_delay(self.backoff, attempt, cap=self.backoff_cap, seed=self.jitter_seed)
+                    )
                 except OSError as exc:
                     self._error = TransportClosedError(f"tcp send failed: {exc}")
                     return

@@ -24,6 +24,10 @@ class ParaNode:
     lc_id: int = -1  # assigned by the LoadCoordinator on receipt
     lineage: tuple[int, ...] = field(default_factory=tuple)
     attempts: int = 0  # times this node was assigned and reclaimed after a failure
+    # rank that last held/produced the node (0 = LoadCoordinator); recorded
+    # in checkpoints so a shape-changing restart can audit per-rank
+    # provenance of the saved frontier
+    origin_rank: int = 0
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -33,6 +37,7 @@ class ParaNode:
             "lc_id": self.lc_id,
             "lineage": list(self.lineage),
             "attempts": self.attempts,
+            "origin_rank": self.origin_rank,
         }
 
     @staticmethod
@@ -44,4 +49,5 @@ class ParaNode:
             lc_id=int(obj["lc_id"]),
             lineage=tuple(int(x) for x in obj.get("lineage", ())),
             attempts=int(obj.get("attempts", 0)),
+            origin_rank=int(obj.get("origin_rank", 0)),
         )

@@ -119,6 +119,38 @@ class ParaSolver:
                 self.state = "working"
             self.collect_mode = True
             return
+        if tag is MessageTag.JOIN:
+            # welcome packet for a late joiner: absorb the current incumbent
+            # and the run's settings (e.g. the racing winner's ParamSet)
+            payload = msg.payload or {}
+            value = payload.get("incumbent")
+            if value is not None and math.isfinite(value):
+                self.best_known = min(self.best_known, float(value))
+            settings = payload.get("settings")
+            if settings is not None:
+                self.base_params = settings
+            return
+        if tag is MessageTag.DRAIN:
+            # graceful leave: hand the in-flight subproblem back (None when
+            # idle) so the Supervisor re-queues it without burning a retry,
+            # then retire this rank
+            if self.state == "terminated":
+                return
+            node = self.current_node if self.is_busy else None
+            send(
+                LOAD_COORDINATOR_RANK,
+                MessageTag.DRAINED,
+                {
+                    "rank": self.rank,
+                    "node": node,
+                    "nodes_processed": self.nodes_processed_total,
+                },
+            )
+            self.state = "terminated"
+            self.handle = None
+            self.current_node = None
+            self.collect_mode = False
+            return
         if tag is MessageTag.RACING_LOSER:
             # discard the race tree; solutions were already reported
             self.handle = None

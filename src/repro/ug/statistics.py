@@ -51,6 +51,17 @@ class UGStatistics:
     send_retries: int = 0  # transient CommErrors absorbed by the retry wrapper
     faults_injected: int = 0  # total FaultPlan events that fired
 
+    # elastic membership (repro.ug.cluster): runtime joins/drains/restarts
+    ranks_joined: int = 0  # ranks admitted after launch
+    drains_requested: int = 0  # DRAIN messages sent to ranks
+    ranks_drained: int = 0  # ranks that left gracefully (DRAINED received)
+    drain_timeouts: int = 0  # drains escalated onto the death path
+    ranks_restarted: int = 0  # watchdog replacements for dead ranks
+    nodes_returned: int = 0  # in-flight nodes handed back by graceful drains
+    peak_ranks: int = 0  # most ranks simultaneously alive
+    final_ranks: int = 0  # live ranks when the run ended
+    shape_restarts: int = 0  # restarts onto a different rank count than saved
+
     # wire traffic (codec-backed paths: ThreadEngine delivery, loopback
     # and process engines; the SimEngine has no wire so these stay 0)
     net_frames_sent: int = 0

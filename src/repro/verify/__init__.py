@@ -31,6 +31,7 @@ from repro.verify.steiner import (
     check_steiner_tree,
     check_ug_steiner_result,
 )
+from repro.verify.restart import audit_restart_coverage
 from repro.verify.tree_audit import audit_cip_trace, audit_ug_run
 from repro.verify.differential import (
     brute_force_binary_mip,
@@ -52,6 +53,7 @@ __all__ = [
     "check_steiner_tree",
     "check_ug_steiner_result",
     "audit_cip_trace",
+    "audit_restart_coverage",
     "audit_ug_run",
     "brute_force_binary_mip",
     "brute_force_misdp",

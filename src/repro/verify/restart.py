@@ -1,0 +1,128 @@
+"""Shape-changing restart auditor.
+
+The paper's checkpoint/restart series (Tables 2-3) always resume on the
+same cluster shape — the MPI world size is fixed per job.  The elastic
+runtime (``repro.ug.cluster``) drops that assumption: a checkpoint
+written at N ranks restarts on M ranks, M != N.  What must survive the
+reshaping is the *frontier*: every primitive node the dying run saved has
+to reappear in the restored pool, bound for bound, or the restarted run
+could silently claim an optimum over a dropped subtree.
+
+:func:`audit_restart_coverage` is the independent check: it compares the
+checkpoint's saved nodes against the pool the fresh LoadCoordinator
+actually restored (``lc.restored_nodes``, snapshotted before any
+assignment renumbers or hands out nodes), as a multiset keyed on the
+solver-independent subproblem content — never on lc_ids, which a restart
+legitimately reassigns.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.ug.checkpoint import Checkpoint
+from repro.ug.para_node import ParaNode
+from repro.verify.result import CheckReport
+
+
+def _node_key(node: ParaNode) -> tuple[str, int]:
+    """Identity of a subproblem across a restart: what it constrains and
+    how deep it sits — lc_id/lineage/attempts are run-local bookkeeping."""
+    return (json.dumps(node.payload, sort_keys=True, separators=(",", ":")), node.depth)
+
+
+def audit_restart_coverage(
+    checkpoint: Checkpoint,
+    restored_nodes: tuple[ParaNode, ...] | list[ParaNode],
+    incumbent: Any | None = None,
+    *,
+    tol: float = 1e-9,
+) -> CheckReport:
+    """Check a restored pool covers the checkpointed frontier.
+
+    Invariants:
+
+    * node counts match (nothing dropped, nothing invented),
+    * every saved node appears in the restored pool — same payload, same
+      depth, dual bound within ``tol`` (multiset semantics: duplicates in
+      the checkpoint need matching multiplicity),
+    * the dual-bound floor is preserved (the restored pool's weakest bound
+      is no weaker than the saved one, so the global bound cannot jump),
+    * the saved incumbent is not lost (when ``incumbent`` is supplied),
+    * the recorded per-rank provenance histogram sums to the node count.
+    """
+    report = CheckReport(subject="restart coverage")
+    saved = list(checkpoint.nodes)
+    restored = list(restored_nodes)
+
+    report.add(
+        "node_count",
+        len(restored) == len(saved),
+        f"checkpoint saved {len(saved)} primitive nodes, restored pool has {len(restored)}",
+        saved=len(saved),
+        restored=len(restored),
+    )
+
+    # multiset cover on subproblem identity; duals matched greedily within tol
+    remaining: dict[tuple[str, int], list[float]] = {}
+    for node in restored:
+        remaining.setdefault(_node_key(node), []).append(node.dual_bound)
+    missing: list[str] = []
+    for node in saved:
+        duals = remaining.get(_node_key(node))
+        hit = None
+        if duals:
+            for i, dual in enumerate(duals):
+                close = (
+                    math.isclose(dual, node.dual_bound, rel_tol=0.0, abs_tol=tol)
+                    or dual == node.dual_bound  # covers matching infinities
+                )
+                if close:
+                    hit = i
+                    break
+        if hit is None:
+            missing.append(f"depth={node.depth} dual={node.dual_bound} lc_id={node.lc_id}")
+        else:
+            duals.pop(hit)
+    report.add(
+        "frontier_covered",
+        not missing,
+        "every saved node found in the restored pool"
+        if not missing
+        else f"{len(missing)} saved node(s) missing: " + "; ".join(missing[:5]),
+        missing=len(missing),
+    )
+
+    if saved:
+        saved_floor = min(n.dual_bound for n in saved)
+        restored_floor = min((n.dual_bound for n in restored), default=math.inf)
+        report.add(
+            "dual_floor_preserved",
+            restored_floor <= saved_floor + tol,
+            f"saved floor {saved_floor}, restored floor {restored_floor}",
+            saved_floor=saved_floor,
+            restored_floor=restored_floor,
+        )
+
+    if checkpoint.incumbent is not None and incumbent is not None:
+        report.add(
+            "incumbent_preserved",
+            incumbent.value <= checkpoint.incumbent.value + tol,
+            f"checkpoint incumbent {checkpoint.incumbent.value}, run holds {incumbent.value}",
+            saved_value=checkpoint.incumbent.value,
+            restored_value=incumbent.value,
+        )
+
+    provenance = checkpoint.meta.get("rank_provenance")
+    if provenance is not None:
+        total = sum(int(v) for v in provenance.values())
+        report.add(
+            "provenance_totals",
+            total == len(saved),
+            f"provenance histogram sums to {total} for {len(saved)} saved nodes",
+            histogram=dict(provenance),
+        )
+
+    return report

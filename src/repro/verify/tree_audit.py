@@ -221,6 +221,28 @@ def audit_ug_run(result: Any, *, tol: float = 1e-6) -> CheckReport:
         report.add("incumbent_not_worse_than_solutions", primal <= best_seen + tol * scale,
                    f"incumbent {primal:.9g} worse than reported solution {best_seen:.9g}")
 
+    # elastic-membership reconciliation (repro.ug.cluster): graceful churn
+    # — runtime joins and drains — is NOT a fault, and its trace events
+    # are emitted by the LoadCoordinator in lockstep with the metrics, so
+    # these checks stay sound even on otherwise-faulty runs
+    joins = [e for e in events if e.kind == "rank_join"]
+    drained = [e for e in events if e.kind == "rank_drained"]
+    if joins or drained or stats.ranks_joined or stats.ranks_drained:
+        report.add("ranks_joined_accounting", len(joins) == stats.ranks_joined,
+                   f"trace saw {len(joins)} joins, stats say {stats.ranks_joined}")
+        report.add("ranks_drained_accounting", len(drained) == stats.ranks_drained,
+                   f"trace saw {len(drained)} drains, stats say {stats.ranks_drained}")
+        n_returned = sum(1 for e in drained if e.data.get("requeued"))
+        report.add("nodes_returned_accounting", n_returned == stats.nodes_returned,
+                   f"trace saw {n_returned} returned nodes, stats say {stats.nodes_returned}")
+        # a drained rank is gone: nothing may be assigned to it afterwards
+        drained_at = {e.rank: e.t for e in drained}
+        late = [e for e in events
+                if e.kind == "assign" and e.rank in drained_at and e.t > drained_at[e.rank]]
+        report.add("no_assign_after_drain", not late,
+                   "" if not late else
+                   f"rank {late[0].rank} assigned at t={late[0].t:.6g} after draining")
+
     faulty = (
         stats.solver_failures > 0
         or stats.step_failures > 0

@@ -72,6 +72,69 @@ def test_process_tcp_transport():
     assert res.stats.net_bytes_sent > 0
 
 
+def test_process_elastic_smoke():
+    """Fast CI elastic smoke: 2 spawned ranks, one is killed mid-run and a
+    fresh rank is admitted by the ClusterSupervisor; the solve still
+    completes at the SimEngine optimum and passes every verifier."""
+    from repro.ug.cluster import ClusterEvent, ClusterPlan
+
+    graph = hypercube_instance(4, perturbed=False, seed=1)
+    plugins = SteinerUserPlugins()
+    sim = ug(graph.copy(), plugins, n_solvers=2, comm="sim",
+             config=UGConfig(**STP_CFG)).run()
+    cfg = UGConfig(
+        trace_enabled=True,
+        fault_plan=FaultPlan(crashes=(SolverCrash(rank=2, at_time=0.2),)),
+        cluster_plan=ClusterPlan(events=(ClusterEvent(at_time=0.3, action="join"),)),
+        # heartbeats are the backstop here: a fresh joiner pays spawn/import
+        # cost before its first status, and the process sentinel already
+        # catches real deaths fast
+        heartbeat_timeout=10.0,
+        time_limit=60.0,
+        objective_epsilon=1 - 1e-6,
+    )
+    res = ug(graph.copy(), plugins, n_solvers=2, comm="process", config=cfg).run()
+    assert res.stats.solver_failures == 1
+    assert res.stats.ranks_joined == 1
+    assert res.objective == sim.objective
+    check_ug_steiner_result(graph, res).raise_if_failed()
+    audit_ug_run(res).raise_if_failed()
+    kinds = {e.kind for e in res.trace.events()}
+    assert "rank_death_observed" in kinds and "rank_join" in kinds
+
+
+@pytest.mark.slow
+def test_process_elastic_tcp_drain():
+    """Graceful scale-down over real TCP sockets: a drained rank flushes
+    its DRAINED goodbye before exiting (no phantom death), and a late
+    joiner dials in through the persistent accept loop."""
+    from repro.ug.cluster import ClusterEvent, ClusterPlan
+
+    graph = hypercube_instance(5, perturbed=False, seed=1)
+    plugins = SteinerUserPlugins()
+    sim = ug(graph.copy(), plugins, n_solvers=3, comm="sim",
+             config=UGConfig(**STP_CFG)).run()
+    cfg = UGConfig(
+        trace_enabled=True,
+        net_transport="tcp",
+        cluster_plan=ClusterPlan(events=(
+            ClusterEvent(at_time=0.3, action="join"),
+            ClusterEvent(at_time=0.6, action="drain"),
+        )),
+        heartbeat_timeout=10.0,
+        time_limit=120.0,
+        objective_epsilon=1 - 1e-6,
+    )
+    res = ug(graph.copy(), plugins, n_solvers=3, comm="process", config=cfg).run()
+    assert res.stats.ranks_joined == 1
+    assert res.stats.ranks_drained == 1
+    assert res.stats.drain_timeouts == 0
+    assert res.stats.solver_failures == 0
+    assert res.objective == sim.objective
+    check_ug_steiner_result(graph, res).raise_if_failed()
+    audit_ug_run(res).raise_if_failed()
+
+
 @pytest.mark.slow
 def test_process_rank_crash_detected_and_survived():
     """A worker process dying mid-run (injected ``os._exit``) is detected
