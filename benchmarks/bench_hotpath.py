@@ -1,0 +1,123 @@
+"""Hot-path kernel micro-benchmarks: the numpy-first rewrites of PR 7.
+
+Engine-overhead profiling showed three kernels dominating solver step
+time: Dijkstra/Voronoi relaxation (``steiner.shortest_paths``), Wong's
+dual ascent (``steiner.dual_ascent``) and the bounded-variable simplex
+(``lp.simplex``), plus the bottleneck Steiner distance used by the SD
+edge-deletion test.  Each is timed on a fixed, deterministic workload and
+reports a checksum so a speed-up that changes answers is caught here
+before the differential oracles would flag it.
+
+Emits ``BENCH_hotpath.json`` for CI trend tracking.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import emit_bench_json, print_table, table1_instances
+from repro.lp import LinearProgram
+from repro.lp.simplex import solve_with_simplex
+from repro.steiner.dual_ascent import dual_ascent
+from repro.steiner.shortest_paths import (
+    bottleneck_steiner_distance,
+    dijkstra,
+    voronoi,
+)
+from repro.steiner.transformations import spg_to_sap
+from repro.utils import make_rng
+
+
+def _bench_dijkstra(graph) -> float:
+    """Single-source passes from every terminal plus one Voronoi sweep."""
+    acc = 0.0
+    for t in graph.terminals:
+        dist, _pred = dijkstra(graph, int(t))
+        acc += float(dist[np.isfinite(dist)].sum())
+    vor = voronoi(graph)
+    acc += float(vor.dist[np.isfinite(vor.dist)].sum())
+    return acc
+
+
+def _bench_dual_ascent(graph) -> float:
+    res = dual_ascent(spg_to_sap(graph))
+    return float(res.lower_bound) + float(res.reduced_costs.sum())
+
+
+def _bench_bottleneck(graph) -> float:
+    acc = 0.0
+    limit = 12.0 * max(e.cost for e in graph.edges)
+    for v in list(graph.alive_vertices())[:24]:
+        sd = bottleneck_steiner_distance(graph, int(v), limit)
+        acc += sum(sd.values())
+    return acc
+
+
+def _make_lp(seed: int, m: int = 40, n: int = 70) -> LinearProgram:
+    rng = make_rng(seed)
+    lp = LinearProgram()
+    for _ in range(n):
+        lp.add_variable(0.0, float(rng.uniform(1.0, 5.0)), float(rng.normal()))
+    for _ in range(m):
+        idx = rng.choice(n, size=8, replace=False)
+        coefs = {int(j): float(rng.uniform(-1.0, 2.0)) for j in idx}
+        lp.add_row(coefs, lhs=-float(rng.uniform(0.5, 4.0)), rhs=float(rng.uniform(1.0, 6.0)))
+    return lp
+
+
+def _bench_simplex() -> float:
+    acc = 0.0
+    for seed in range(6):
+        sol = solve_with_simplex(_make_lp(seed))
+        if np.isfinite(sol.objective):
+            acc += sol.objective
+    return acc
+
+
+def _measure() -> list[dict]:
+    _name, graph = table1_instances()[-1]  # hc5u-d15, same as engine bench
+    kernels = [
+        ("dijkstra_voronoi", lambda: _bench_dijkstra(graph), 5),
+        ("dual_ascent", lambda: _bench_dual_ascent(graph), 5),
+        ("bottleneck_sd", lambda: _bench_bottleneck(graph), 3),
+        ("simplex", _bench_simplex, 3),
+    ]
+    rows: list[dict] = []
+    for name, fn, reps in kernels:
+        fn()  # warm caches (CSR build, LAPACK load) outside the timing
+        t0 = time.perf_counter()
+        checksum = 0.0
+        for _ in range(reps):
+            checksum = fn()
+        wall = time.perf_counter() - t0
+        rows.append(
+            {
+                "kernel": name,
+                "reps": reps,
+                "wall_seconds": round(wall, 4),
+                "per_call_ms": round(1000.0 * wall / reps, 3),
+                "checksum": round(checksum, 6),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_hotpath_kernels(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    assert len(rows) >= 3
+    print_table(
+        "Hot-path kernels (per call)",
+        ["kernel", "reps", "wall s", "ms/call", "checksum"],
+        [[r["kernel"], r["reps"], r["wall_seconds"], r["per_call_ms"], r["checksum"]] for r in rows],
+    )
+    emit_bench_json("hotpath", {"rows": rows})
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    for row in _measure():
+        print(row)
+    emit_bench_json("hotpath", {"rows": _measure()})

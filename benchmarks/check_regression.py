@@ -1,0 +1,93 @@
+"""Nightly regression gate for the ProcessEngine wire path.
+
+Reads the ``BENCH_engine_overhead.json`` artifact produced by
+``bench_engine_overhead.py`` and compares the ProcessEngine throughput
+against the committed baseline (``benchmarks/baselines/engine_overhead.json``).
+
+Absolute nodes/s tracks whatever box CI landed on, so the gated metric is
+the process/threads throughput *ratio* per rank count: both engines run
+the same state machines on the same instance in the same job, so their
+ratio cancels the box speed and isolates the wire-path overhead this PR
+pays down.  The gate fails when a ratio drops more than ``tolerance``
+(default 10%) below its committed baseline.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/check_regression.py [BENCH_JSON]
+
+``BENCH_JSON`` defaults to ``$BENCH_OUTPUT_DIR/BENCH_engine_overhead.json``
+(or the working directory when unset), matching where the bench writes it.
+Exit status: 0 = within tolerance, 1 = regression, 2 = unusable input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent / "baselines" / "engine_overhead.json"
+
+
+def load_ratios(rows: list[dict]) -> dict[str, float]:
+    """Per-rank-count process/threads nodes-per-second ratios."""
+    speed: dict[tuple[str, int], float] = {}
+    for row in rows:
+        nps = row.get("nodes_per_second")
+        if nps:
+            speed[(row["engine"], row["ranks"])] = float(nps)
+    ratios: dict[str, float] = {}
+    for (engine, ranks), nps in speed.items():
+        if engine != "process":
+            continue
+        threads = speed.get(("threads", ranks))
+        if threads:
+            ratios[str(ranks)] = nps / threads
+    return ratios
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        bench_path = Path(argv[1])
+    else:
+        out_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", "."))
+        bench_path = out_dir / "BENCH_engine_overhead.json"
+    try:
+        bench = json.loads(bench_path.read_text())
+        baseline = json.loads(BASELINE.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[check_regression] cannot read inputs: {exc}", file=sys.stderr)
+        return 2
+
+    current = load_ratios(bench.get("rows", []))
+    tolerance = float(baseline.get("tolerance", 0.10))
+    expected: dict[str, float] = baseline["ratios"]
+
+    failed = False
+    for ranks, base in sorted(expected.items(), key=lambda kv: int(kv[0])):
+        got = current.get(ranks)
+        if got is None:
+            print(f"[check_regression] MISSING ranks={ranks}: no process/threads pair in bench output")
+            failed = True
+            continue
+        floor = base * (1.0 - tolerance)
+        verdict = "ok" if got >= floor else "REGRESSION"
+        failed |= got < floor
+        print(
+            f"[check_regression] ranks={ranks}: process/threads ratio "
+            f"{got:.3f} vs baseline {base:.3f} (floor {floor:.3f}) -> {verdict}"
+        )
+    if failed:
+        print(
+            "[check_regression] ProcessEngine throughput regressed >"
+            f"{tolerance:.0%} vs {BASELINE.name}",
+            file=sys.stderr,
+        )
+        return 1
+    print("[check_regression] within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

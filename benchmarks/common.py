@@ -46,6 +46,7 @@ def narrow_costs(g: SteinerGraph, seed: int, lo: int = 10, hi: int = 12) -> Stei
     rng = make_rng(seed)
     for e in g.edges:
         e.cost = float(rng.integers(lo, hi + 1))
+    g.invalidate_caches()  # costs were rewritten in place
     return g
 
 

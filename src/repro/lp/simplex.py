@@ -126,30 +126,27 @@ class _SimplexCore:
             d = c - A.T @ y
             use_bland = degen_streak >= _DEGEN_STREAK_FOR_BLAND
 
-            entering = -1
-            best_score = _PIVOT_TOL
-            direction = 0.0
-            for j in range(self.n):
-                if status[j] == _BASIC:
-                    continue
-                if forbidden is not None and forbidden[j]:
-                    continue
-                dj = d[j]
-                if status[j] == _AT_LOWER and dj < -_PIVOT_TOL:
-                    score, dirj = -dj, 1.0
-                elif status[j] == _AT_UPPER and dj > _PIVOT_TOL:
-                    score, dirj = dj, -1.0
-                elif status[j] == _FREE_AT_ZERO and abs(dj) > _PIVOT_TOL:
-                    score, dirj = abs(dj), (1.0 if dj < 0 else -1.0)
-                else:
-                    continue
-                if use_bland:
-                    entering, direction = j, dirj
-                    break
-                if score > best_score:
-                    best_score, entering, direction = score, j, dirj
-            if entering < 0:
+            # vectorized pricing: per-column scores/directions as masked
+            # array ops; argmax keeps the python loop's first-max-wins
+            # (Dantzig) and first-eligible (Bland) tie-breaks exactly
+            scores = np.zeros(self.n)
+            dirs = np.zeros(self.n)
+            lower_viol = (status == _AT_LOWER) & (d < -_PIVOT_TOL)
+            upper_viol = (status == _AT_UPPER) & (d > _PIVOT_TOL)
+            free_viol = (status == _FREE_AT_ZERO) & (np.abs(d) > _PIVOT_TOL)
+            scores[lower_viol] = -d[lower_viol]
+            dirs[lower_viol] = 1.0
+            scores[upper_viol] = d[upper_viol]
+            dirs[upper_viol] = -1.0
+            scores[free_viol] = np.abs(d[free_viol])
+            dirs[free_viol] = np.where(d[free_viol] < 0, 1.0, -1.0)
+            if forbidden is not None:
+                scores[forbidden] = 0.0
+            eligible = scores > _PIVOT_TOL
+            if not eligible.any():
                 return "optimal", basis, status, x, y
+            entering = int(np.argmax(eligible)) if use_bland else int(np.argmax(scores))
+            direction = float(dirs[entering])
 
             # ratio test: entering moves by t*direction; basics move by
             # -t*direction*w where B w = A[:, entering]
@@ -157,25 +154,26 @@ class _SimplexCore:
             t_max = ub[entering] - lb[entering] if status[entering] != _FREE_AT_ZERO else math.inf
             leaving = -1
             leave_to = _AT_LOWER
-            for i in range(m):
-                wi = w[i] * direction
+            # vectorized ratio computation (bound lookups + divisions as
+            # array ops); the acceptance scan over the few finite
+            # candidates stays sequential because t_max evolves in-order
+            wd = w * direction
+            xb_cur = x[basis]
+            lbb = lb[basis]
+            ubb = ub[basis]
+            ratios = np.full(m, math.inf)
+            dec = (wd > _PIVOT_TOL) & (lbb > -math.inf)  # basic falls to lower
+            inc = (wd < -_PIVOT_TOL) & (ubb < math.inf)  # basic rises to upper
+            ratios[dec] = (xb_cur[dec] - lbb[dec]) / wd[dec]
+            ratios[inc] = (xb_cur[inc] - ubb[inc]) / wd[inc]
+            targets = np.where(dec, _AT_LOWER, _AT_UPPER)
+            for i in np.flatnonzero(ratios < math.inf).tolist():
+                t = float(ratios[i])
                 bi = basis[i]
-                if wi > _PIVOT_TOL:  # basic decreases toward its lower bound
-                    if lb[bi] == -math.inf:
-                        continue
-                    t = (x[bi] - lb[bi]) / wi
-                    target = _AT_LOWER
-                elif wi < -_PIVOT_TOL:  # basic increases toward its upper bound
-                    if ub[bi] == math.inf:
-                        continue
-                    t = (x[bi] - ub[bi]) / wi
-                    target = _AT_UPPER
-                else:
-                    continue
                 if t < t_max - _PIVOT_TOL or (
                     t < t_max + _PIVOT_TOL and (leaving < 0 or (use_bland and bi < basis[leaving]))
                 ):
-                    t_max, leaving, leave_to = max(t, 0.0), i, target
+                    t_max, leaving, leave_to = max(t, 0.0), i, int(targets[i])
             if t_max == math.inf:
                 return "unbounded", basis, status, x, y
 

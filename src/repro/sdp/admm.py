@@ -241,6 +241,23 @@ def solve_sdp_relaxation(
     obj = float(b @ y)
     if timed_out and not converged:
         return SDPResult("time_limit", obj, None, it, prim_res, dual_res)
+    if not converged and over_relaxation != 1.0:
+        # over-relaxation (alpha = 1.6) accelerates well-conditioned
+        # solves but can cycle with residuals stuck around 1e-3 on some
+        # instances; restart damped (alpha = 1) before reporting failure
+        fallback = solve_sdp_relaxation(
+            misdp,
+            lb,
+            ub,
+            max_iter=max_iter,
+            tol=tol,
+            penalty=penalty,
+            penalty_gamma=penalty_gamma,
+            over_relaxation=1.0,
+            budget=budget,
+        )
+        fallback.iterations += it
+        return fallback
     if penalty:
         r = float(y[m])
         if converged and r > 1e-5:

@@ -36,17 +36,40 @@ class DualAscentResult:
         )
 
 
-def _reverse_zero_reachable(sap: SAPDigraph, t: int, rc: np.ndarray, eps: float) -> set[int]:
-    """Vertices from which ``t`` is reachable via arcs of zero reduced cost."""
-    comp = {t}
-    queue = deque([t])
-    while queue:
-        v = queue.popleft()
-        for a in sap.in_arcs[v]:
-            u = int(sap.arc_tail[a])
-            if u not in comp and rc[a] <= eps:
-                comp.add(u)
-                queue.append(u)
+def _arc_csr(keys: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """CSR over arcs grouped by ``keys`` (tails or heads): the arcs of
+    vertex ``v`` are ``order[indptr[v]:indptr[v+1]]``."""
+    order = np.argsort(keys, kind="stable")
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(keys, minlength=n), out=indptr[1:])
+    return indptr, order
+
+
+def _reverse_zero_reachable(
+    sap: SAPDigraph,
+    t: int,
+    rc: np.ndarray,
+    eps: float,
+    rin_ptr: np.ndarray,
+    rin_arc: np.ndarray,
+    tails: np.ndarray,
+) -> np.ndarray:
+    """Bool mask of vertices from which ``t`` is reachable via arcs of
+    zero reduced cost (vectorized saturation scan per frontier vertex)."""
+    comp = np.zeros(sap.n, dtype=bool)
+    comp[t] = True
+    stack = [t]
+    while stack:
+        v = stack.pop()
+        lo, hi = rin_ptr[v], rin_ptr[v + 1]
+        if lo == hi:
+            continue
+        arcs = rin_arc[lo:hi]
+        us = tails[arcs]
+        grow = us[(rc[arcs] <= eps) & ~comp[us]]
+        if grow.size:
+            comp[grow] = True
+            stack.extend(grow.tolist())
     return comp
 
 
@@ -55,45 +78,46 @@ def dual_ascent(sap: SAPDigraph, eps: float = 1e-9, max_sweeps: int = 10_000) ->
 
     Active terminals are processed smallest-component-first (the standard
     guiding rule); each step raises the dual of the component's cut by the
-    minimum entering reduced cost.
+    minimum entering reduced cost.  Component growth, the entering-arc
+    scan and the delta update are numpy mask operations over the arc
+    arrays — the python per-arc loops dominated dual-ascent profiles.
     """
     rc = sap.arc_cost.astype(float).copy()
     lb = 0.0
     active = deque(sorted(sap.sinks()))
     sweeps = 0
+    tails = np.asarray(sap.arc_tail, dtype=np.int64)
+    heads = np.asarray(sap.arc_head, dtype=np.int64)
+    rin_ptr, rin_arc = _arc_csr(heads, sap.n)
     while active and sweeps < max_sweeps:
         sweeps += 1
         # pick terminal with the smallest zero-reachable component
         best_t = None
-        best_comp: set[int] | None = None
+        best_comp: np.ndarray | None = None
+        best_size = 0
         for t in list(active):
-            comp = _reverse_zero_reachable(sap, t, rc, eps)
-            if sap.root in comp:
+            comp = _reverse_zero_reachable(sap, t, rc, eps, rin_ptr, rin_arc, tails)
+            if comp[sap.root]:
                 active.remove(t)
                 continue
-            if best_comp is None or len(comp) < len(best_comp):
-                best_t, best_comp = t, comp
+            size = int(np.count_nonzero(comp))
+            if best_comp is None or size < best_size:
+                best_t, best_comp, best_size = t, comp, size
         if best_comp is None:
             break
-        entering = [
-            a
-            for v in best_comp
-            for a in sap.in_arcs[v]
-            if int(sap.arc_tail[a]) not in best_comp
-        ]
-        if not entering:
+        # the cut: arcs entering the component from outside
+        entering = best_comp[heads] & ~best_comp[tails]
+        if not entering.any():
             # root genuinely unreachable: infinite bound (infeasible SPG)
             lb = math.inf
             break
-        delta = min(float(rc[a]) for a in entering)
+        delta = float(rc[entering].min())
         if delta <= eps:
             # numerically saturated already; grow handled next sweep
             delta = 0.0
         lb += delta
-        for a in entering:
-            rc[a] -= delta
-            if rc[a] < 0:
-                rc[a] = 0.0
+        if delta > 0.0:
+            rc[entering] = np.maximum(rc[entering] - delta, 0.0)
         # re-test this terminal next round; rotate the queue for fairness
         assert best_t is not None
         active.rotate(-1)
@@ -104,39 +128,51 @@ def dual_ascent(sap: SAPDigraph, eps: float = 1e-9, max_sweeps: int = 10_000) ->
     return DualAscentResult(lb, rc, root_dist, term_dist, saturated)
 
 
-def _rc_dijkstra_forward(sap: SAPDigraph, rc: np.ndarray) -> np.ndarray:
+def _rc_dijkstra(
+    sap: SAPDigraph,
+    rc: np.ndarray,
+    sources: list[int],
+    ends: np.ndarray,
+    indptr: np.ndarray,
+    arc_order: np.ndarray,
+) -> np.ndarray:
+    """Heap Dijkstra with vectorized relaxation over an arc-CSR view."""
     dist = np.full(sap.n, math.inf)
-    dist[sap.root] = 0.0
-    heap = [(0.0, sap.root)]
+    heap: list[tuple[float, int]] = []
+    for s in sources:
+        dist[s] = 0.0
+        heapq.heappush(heap, (0.0, s))
+    push = heapq.heappush
     while heap:
         d, v = heapq.heappop(heap)
         if d > dist[v]:
             continue
-        for a in sap.out_arcs[v]:
-            w = int(sap.arc_head[a])
-            nd = d + float(rc[a])
-            if nd < dist[w] - 1e-12:
-                dist[w] = nd
-                heapq.heappush(heap, (nd, w))
+        lo, hi = indptr[v], indptr[v + 1]
+        if lo == hi:
+            continue
+        arcs = arc_order[lo:hi]
+        ws = ends[arcs]
+        nd = d + rc[arcs]
+        for i in np.flatnonzero(nd < dist[ws] - 1e-12):
+            w = int(ws[i])
+            ndi = float(nd[i])
+            if ndi < dist[w] - 1e-12:  # parallel arcs within one slice
+                dist[w] = ndi
+                push(heap, (ndi, w))
     return dist
+
+
+def _rc_dijkstra_forward(sap: SAPDigraph, rc: np.ndarray) -> np.ndarray:
+    tails = np.asarray(sap.arc_tail, dtype=np.int64)
+    heads = np.asarray(sap.arc_head, dtype=np.int64)
+    indptr, order = _arc_csr(tails, sap.n)
+    return _rc_dijkstra(sap, rc, [sap.root], heads, indptr, order)
 
 
 def _rc_dijkstra_to_terminals(sap: SAPDigraph, rc: np.ndarray) -> np.ndarray:
     """Reduced-cost distance from each vertex to its nearest sink terminal
     (multi-source Dijkstra on the reversed digraph)."""
-    dist = np.full(sap.n, math.inf)
-    heap: list[tuple[float, int]] = []
-    for t in sap.sinks():
-        dist[t] = 0.0
-        heapq.heappush(heap, (0.0, t))
-    while heap:
-        d, v = heapq.heappop(heap)
-        if d > dist[v]:
-            continue
-        for a in sap.in_arcs[v]:
-            u = int(sap.arc_tail[a])
-            nd = d + float(rc[a])
-            if nd < dist[u] - 1e-12:
-                dist[u] = nd
-                heapq.heappush(heap, (nd, u))
-    return dist
+    tails = np.asarray(sap.arc_tail, dtype=np.int64)
+    heads = np.asarray(sap.arc_head, dtype=np.int64)
+    indptr, order = _arc_csr(heads, sap.n)
+    return _rc_dijkstra(sap, rc, sap.sinks(), tails, indptr, order)

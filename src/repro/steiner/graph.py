@@ -49,6 +49,14 @@ class SteinerGraph:
     vertex_alive: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
     fixed_cost: float = 0.0
     fixed_edges: list[int] = field(default_factory=list)
+    # structure version: bumped by every mutation, invalidates the
+    # neighbor/CSR caches below (kernels call neighbors() hundreds of
+    # thousands of times between mutations — rebuilding the triple list
+    # each call dominated Dijkstra/bottleneck profiles)
+    _version: int = field(default=0, repr=False, compare=False)
+    _nbr_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _nbr_version: int = field(default=-1, repr=False, compare=False)
+    _csr_cache: tuple | None = field(default=None, repr=False, compare=False)
 
     # -- construction --------------------------------------------------------
 
@@ -75,6 +83,7 @@ class SteinerGraph:
         self.edges.append(_Edge(u, v, float(cost), True, anc))
         self.adj[u].append(eid)
         self.adj[v].append(eid)
+        self._version += 1
         return eid
 
     def set_terminal(self, v: int, is_terminal: bool = True) -> None:
@@ -121,13 +130,61 @@ class SteinerGraph:
         return [eid for eid in self.adj[v] if self.edges[eid].alive]
 
     def neighbors(self, v: int) -> list[tuple[int, int, float]]:
-        """Alive ``(neighbor, edge_id, cost)`` triples of vertex ``v``."""
-        out = []
-        for eid in self.adj[v]:
-            e = self.edges[eid]
-            if e.alive:
-                out.append((e.other(v), eid, e.cost))
+        """Alive ``(neighbor, edge_id, cost)`` triples of vertex ``v``.
+
+        Cached per vertex until the next mutation; callers must treat the
+        returned list as read-only.
+        """
+        if self._nbr_version != self._version:
+            self._nbr_cache.clear()
+            self._nbr_version = self._version
+        out = self._nbr_cache.get(v)
+        if out is None:
+            out = []
+            for eid in self.adj[v]:
+                e = self.edges[eid]
+                if e.alive:
+                    out.append((e.other(v), eid, e.cost))
+            self._nbr_cache[v] = out
         return out
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Version-cached CSR view of the alive graph for numpy kernels.
+
+        Returns ``(indptr, nbr, eid, cost)``: the alive neighbors of
+        vertex ``v`` are ``nbr[indptr[v]:indptr[v+1]]`` with matching edge
+        ids and costs.  Arrays are rebuilt lazily after any mutation and
+        must be treated as read-only.
+        """
+        cache = self._csr_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
+        us, vs, ids, costs = [], [], [], []
+        for i, e in enumerate(self.edges):
+            if e.alive:
+                us.append(e.u)
+                vs.append(e.v)
+                ids.append(i)
+                costs.append(e.cost)
+        tail = np.array(us + vs, dtype=np.int64)
+        head = np.array(vs + us, dtype=np.int64)
+        eid2 = np.array(ids + ids, dtype=np.int64)
+        cost2 = np.array(costs + costs, dtype=np.float64)
+        order = np.argsort(tail, kind="stable")
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(tail, minlength=self.n), out=indptr[1:])
+        view = (indptr, head[order], eid2[order], cost2[order])
+        self._csr_cache = (self._version, view)
+        return view
+
+    def invalidate_caches(self) -> None:
+        """Bump the structure version after *direct* edge mutations.
+
+        All graph methods invalidate automatically; call this only when
+        touching ``edges[...]`` fields by hand (e.g. rewriting costs in
+        bulk), or the neighbors/CSR caches will serve stale data.
+        """
+        self._version += 1
 
     def edge_endpoints(self, eid: int) -> tuple[int, int]:
         e = self.edges[eid]
@@ -156,6 +213,7 @@ class SteinerGraph:
         if not e.alive:
             raise GraphError(f"edge {eid} already deleted")
         e.alive = False
+        self._version += 1
 
     def delete_vertex(self, v: int) -> None:
         """Delete ``v`` and all incident edges. Terminals cannot be deleted."""
@@ -166,6 +224,7 @@ class SteinerGraph:
             if self.edges[eid].alive:
                 self.edges[eid].alive = False
         self.vertex_alive[v] = False
+        self._version += 1
 
     def replace_path(self, v: int) -> int | None:
         """Degree-2 elimination: replace ``v``'s two edges by one edge.
@@ -186,6 +245,7 @@ class SteinerGraph:
         e1.alive = False
         e2.alive = False
         self.vertex_alive[v] = False
+        self._version += 1
         if a == b:
             return None  # the two edges formed a cycle through v
         existing = self.find_edge(a, b)
@@ -234,6 +294,7 @@ class SteinerGraph:
         if self.terminal_mask[other]:
             self.terminal_mask[other] = False
         self.vertex_alive[other] = False
+        self._version += 1
 
     # -- solution helpers -------------------------------------------------------
 

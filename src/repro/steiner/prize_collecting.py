@@ -329,6 +329,7 @@ def mwcs_to_pcstp(graph: SteinerGraph, weights: np.ndarray) -> tuple[PCSTP, floa
     for eid in pc_graph.alive_edges():
         e = pc_graph.edges[eid]
         e.cost = max(0.0, -weights[e.u]) / 2.0 + max(0.0, -weights[e.v]) / 2.0
+    pc_graph.invalidate_caches()  # costs were rewritten in place
     prizes = np.maximum(weights, 0.0)
     positive_sum = float(prizes.sum())
     return PCSTP(pc_graph, prizes), positive_sum

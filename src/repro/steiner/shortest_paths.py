@@ -34,6 +34,15 @@ def dijkstra(
     dist[source] = 0.0
     heap: list[tuple[float, int]] = [(0.0, source)]
     remaining = set(targets) if targets else None
+    # numpy-first relaxation over the version-cached CSR view: one slice,
+    # one vectorized compare per settled vertex instead of a python loop
+    # over (neighbor, eid, cost) tuples
+    indptr, nbr, eids, costs = graph.csr()
+    if cost_override is not None:
+        costs = np.array(
+            [cost_override.get(int(e), c) for e, c in zip(eids, costs)], dtype=np.float64
+        )
+    push = heapq.heappush
     while heap:
         d, v = heapq.heappop(heap)
         if d > dist[v]:
@@ -42,14 +51,18 @@ def dijkstra(
             remaining.discard(v)
             if not remaining:
                 break
-        for w, eid, cost in graph.neighbors(v):
-            if cost_override is not None:
-                cost = cost_override.get(eid, cost)
-            nd = d + cost
-            if nd < dist[w] - 1e-12:
-                dist[w] = nd
-                pred[w] = eid
-                heapq.heappush(heap, (nd, w))
+        lo, hi = indptr[v], indptr[v + 1]
+        if lo == hi:
+            continue
+        nd = d + costs[lo:hi]
+        ws = nbr[lo:hi]
+        for i in np.flatnonzero(nd < dist[ws] - 1e-12):
+            w = int(ws[i])
+            ndi = float(nd[i])
+            if ndi < dist[w] - 1e-12:  # parallel edges within one slice
+                dist[w] = ndi
+                pred[w] = eids[lo + i]
+                push(heap, (ndi, w))
     return dist, pred
 
 
@@ -104,17 +117,26 @@ def voronoi(graph: SteinerGraph) -> VoronoiPartition:
         dist[t] = 0.0
         base[t] = t
         heapq.heappush(heap, (0.0, t))
+    indptr, nbr, eids, costs = graph.csr()
+    push = heapq.heappush
     while heap:
         d, v = heapq.heappop(heap)
         if d > dist[v]:
             continue
-        for w, eid, cost in graph.neighbors(v):
-            nd = d + cost
-            if nd < dist[w] - 1e-12:
-                dist[w] = nd
-                base[w] = base[v]
-                pred[w] = eid
-                heapq.heappush(heap, (nd, w))
+        lo, hi = indptr[v], indptr[v + 1]
+        if lo == hi:
+            continue
+        nd = d + costs[lo:hi]
+        ws = nbr[lo:hi]
+        bv = base[v]
+        for i in np.flatnonzero(nd < dist[ws] - 1e-12):
+            w = int(ws[i])
+            ndi = float(nd[i])
+            if ndi < dist[w] - 1e-12:
+                dist[w] = ndi
+                base[w] = bv
+                pred[w] = eids[lo + i]
+                push(heap, (ndi, w))
     return VoronoiPartition(base, dist, pred)
 
 
@@ -153,23 +175,34 @@ def bottleneck_steiner_distance(
     heap: list[tuple[float, float, int]] = [(0.0, 0.0, u)]
     best_key: dict[int, float] = {u: 0.0}
     settled: set[int] = set()
+    indptr, nbr, _eids, costs = graph.csr()
+    push = heapq.heappush
+    inf = math.inf
     while heap and len(settled) < max_visits:
         key, cur, v = heapq.heappop(heap)
         if v in settled:
             continue
         settled.add(v)
         sd[v] = key
+        if v == avoid:
+            continue
+        lo, hi = indptr[v], indptr[v + 1]
+        if lo == hi:
+            continue
         seg_base = 0.0 if graph.is_terminal(v) and v != u else cur
-        for w, _eid, cost in graph.neighbors(v):
-            if w == avoid or v == avoid or w in settled:
+        # vectorized label arithmetic over the CSR slice; the heap pushes
+        # and dict filters stay scalar (tolist beats numpy scalar indexing)
+        new_curs = (seg_base + costs[lo:hi]).tolist()
+        ws = nbr[lo:hi].tolist()
+        for w, new_cur in zip(ws, new_curs):
+            if w == avoid or w in settled:
                 continue
-            new_cur = seg_base + cost
-            new_key = max(key, new_cur)
+            new_key = new_cur if new_cur > key else key
             if new_key > limit:
                 continue
-            if new_key < best_key.get(w, math.inf) - 1e-12:
+            if new_key < best_key.get(w, inf) - 1e-12:
                 best_key[w] = new_key
-                heapq.heappush(heap, (new_key, new_cur, w))
+                push(heap, (new_key, new_cur, w))
     sd.pop(u, None)
     sd[u] = 0.0
     return sd

@@ -67,6 +67,21 @@ class UGConfig:
     # how long the parent waits for children to honor TERMINATION before
     # reaping them forcefully
     net_shutdown_grace: float = 10.0
+    # wire-path coalescing: a collecting ParaSolver sheds up to this many
+    # open nodes per step into ONE NODE_TRANSFER (1 = classic single-node
+    # shedding, bit-identical to the pre-batching protocol)
+    net_batch_nodes: int = 1
+    # incumbent broadcast debounce, seconds (engine time): improvements
+    # inside the window are held and only the best value is flushed on the
+    # next tick; 0 broadcasts every improvement immediately.  Safe for the
+    # tree audits — a delayed incumbent only delays pruning, the trace's
+    # incumbent events (emitted at acceptance) stay monotone either way
+    net_incumbent_debounce: float = 0.0
+    # warm worker pool: pipe-mode ProcessEngine ranks are re-armed from a
+    # process pool (RESET handshake) instead of paying spawn-per-run;
+    # automatically bypassed under a fault plan so injected crashes and
+    # frame faults keep their per-run determinism
+    net_warm_pool: bool = True
 
     # observability (repro.obs): structured event tracing; disabled by
     # default so untraced runs pay one branch per instrumentation point.
@@ -122,6 +137,7 @@ class UGConfig:
             "racing_open_node_threshold",
             "node_limit",
             "net_outbound_queue",
+            "net_batch_nodes",
             "trace_capacity",
         ):
             value = getattr(self, name)
@@ -131,6 +147,7 @@ class UGConfig:
             "pool_buffer",
             "max_collectors",
             "net_connect_retries",
+            "net_incumbent_debounce",
             "max_node_retries",
             "send_retries",
             "send_backoff",

@@ -316,7 +316,10 @@ class ThreadEngine:
                 self.tracer.emit(self._now(), "crash", rank, nodes=solver.nodes_processed_total)
                 return  # simulate a killed worker process: vanish silently
             if solver.is_busy:
-                # busy: poll the queue without blocking, then advance the tree
+                # busy: poll the queue without blocking, then advance the tree;
+                # the whole burst (message handling + work) counts as busy so
+                # idle_ratio measures only genuine waiting-for-work time
+                t_burst = time.perf_counter()
                 while True:
                     try:
                         msg = q.get_nowait()
@@ -326,15 +329,17 @@ class ThreadEngine:
                         self.tracer.emit(self._now(), "deliver", rank, src=msg.src, tag=msg.tag.value)
                     solver.handle_message(msg, send)
                     if solver.state == "terminated":
+                        self._busy[rank] += time.perf_counter() - t_burst
                         return
                 if not solver.is_busy:
+                    self._busy[rank] += time.perf_counter() - t_burst
                     continue  # a message flipped us idle; block on the queue
                 start = self._now()
                 nodes_before = solver.nodes_processed_total
                 t0 = time.perf_counter()
                 solver.do_work(send)
                 elapsed = time.perf_counter() - t0
-                self._busy[rank] += elapsed
+                self._busy[rank] += time.perf_counter() - t_burst
                 delta = solver.nodes_processed_total - nodes_before
                 if delta:
                     with self._nodes_lock:
@@ -348,7 +353,9 @@ class ThreadEngine:
                     msg = q.get(timeout=0.2)
                 except queue.Empty:
                     continue
+                t0 = time.perf_counter()
                 solver.handle_message(msg, send)
+                self._busy[rank] += time.perf_counter() - t0
 
     def run(self) -> None:
         self._t0 = time.perf_counter()

@@ -134,6 +134,7 @@ class UGSolver:
                 status_interval_work=self.config.status_interval_work,
                 min_open_to_shed=self.config.min_open_to_shed,
                 objective_epsilon=self.config.objective_epsilon,
+                transfer_batch=self.config.net_batch_nodes,
             )
             for rank in range(1, self.n_solvers + 1)
         }

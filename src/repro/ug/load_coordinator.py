@@ -108,6 +108,9 @@ class LoadCoordinator:
         # set by the engine so injected checkpoint corruption replays
         # deterministically; None outside fault-injection runs
         self.fault_injector: Any = None
+        # incumbent broadcast debounce (config.net_incumbent_debounce)
+        self._pending_incumbent = False
+        self._last_incumbent_broadcast = -math.inf
         if self.incumbent is not None:
             self.stats.primal_initial = self.incumbent.value
         if self._restart_pool:
@@ -264,13 +267,20 @@ class LoadCoordinator:
         if tag is MessageTag.SOLUTION_FOUND:
             self._on_solution(payload["solution"], send)
         elif tag is MessageTag.NODE_TRANSFER:
-            node: ParaNode = payload["node"]
-            node.origin_rank = int(payload.get("rank", msg.src))
-            if (
-                self.incumbent is None
-                or node.dual_bound < self.incumbent.value - self.config.objective_epsilon
-            ):
-                self._push_pool(node)
+            # accepts both the classic single-node payload ({"node": ...})
+            # and the coalesced form ({"nodes": [...]}) a batching solver
+            # ships when net_batch_nodes > 1
+            nodes: list[ParaNode] = payload.get("nodes") or (
+                [payload["node"]] if payload.get("node") is not None else []
+            )
+            origin = int(payload.get("rank", msg.src))
+            for node in nodes:
+                node.origin_rank = origin
+                if (
+                    self.incumbent is None
+                    or node.dual_bound < self.incumbent.value - self.config.objective_epsilon
+                ):
+                    self._push_pool(node)
             self._assign(send, now)
         elif tag is MessageTag.DRAINED:
             self._on_drained(payload, send, now)
@@ -364,9 +374,18 @@ class LoadCoordinator:
         self.stats.primal_final = sol.value
         self.metrics.inc("solutions_accepted")
         self.tracer.emit(self._trace_now, "incumbent", 0, value=sol.value)
-        # share the bound with every busy solver
-        for rank in self.active:
-            send(rank, MessageTag.INCUMBENT, {"value": sol.value})
+        # share the bound with every busy solver — debounced: improvements
+        # landing inside net_incumbent_debounce of the last broadcast are
+        # held, and only the best value flushes on a later tick.  Sound by
+        # construction: a worker holding a stale bound merely prunes less
+        # until the flush, and new assignments carry the live incumbent in
+        # their SUBPROBLEM payload regardless
+        debounce = self.config.net_incumbent_debounce
+        if debounce <= 0 or self._trace_now - self._last_incumbent_broadcast >= debounce:
+            self._broadcast_incumbent(send)
+        else:
+            self._pending_incumbent = True
+            self.metrics.inc("incumbent_broadcasts_deferred")
         # prune the pool
         eps = self.config.objective_epsilon
         kept = [(b, s, n) for b, s, n in self._pool if n.dual_bound < sol.value - eps]
@@ -374,6 +393,15 @@ class LoadCoordinator:
             self.tracer.emit(self._trace_now, "pool_prune", 0, removed=len(self._pool) - len(kept))
             self._pool = kept
             heapq.heapify(self._pool)
+
+    def _broadcast_incumbent(self, send: SendFn) -> None:
+        """Ship the current best value to every busy solver, now."""
+        if self.incumbent is None:
+            return
+        for rank in self.active:
+            send(rank, MessageTag.INCUMBENT, {"value": self.incumbent.value})
+        self._last_incumbent_broadcast = self._trace_now
+        self._pending_incumbent = False
 
     # -- racing -----------------------------------------------------------------
 
@@ -672,6 +700,11 @@ class LoadCoordinator:
         self._check_drains(send, now)
         if self.finished:
             return
+        if (
+            self._pending_incumbent
+            and now - self._last_incumbent_broadcast >= self.config.net_incumbent_debounce
+        ):
+            self._broadcast_incumbent(send)
         if self._racing and now >= self.config.racing_deadline:
             self._maybe_finish_racing(send, now)
         if (

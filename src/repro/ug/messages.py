@@ -27,6 +27,9 @@ class MessageTag(enum.Enum):
     DRAIN = "drain"  # Supervisor -> Worker: finish or hand back, then leave
     DRAINED = "drained"  # Worker -> Supervisor: leaving; carries the in-flight node
     JOIN = "join"  # Supervisor -> Worker: welcome packet (incumbent + settings)
+    # warm worker pool (repro.ug.net.process_engine): a pooled worker marks
+    # the end of a run with RESET and waits to be re-armed on a new instance
+    RESET = "reset"
 
 
 #: every Worker -> Supervisor message doubles as a liveness heartbeat: the

@@ -12,11 +12,12 @@ counted via ``repro.obs`` instead of crashing the engine.
 
 from __future__ import annotations
 
+import collections
 from typing import Any, Callable
 
 from repro.obs.trace import Tracer
 from repro.ug.messages import Message, MessageTag, SeqStamper
-from repro.ug.net.codec import FrameDecodeError, decode_message, encode_message
+from repro.ug.net.codec import FrameDecodeError, decode_frame, encode_batch, encode_message
 from repro.ug.net.transport import Transport, TransportClosedError
 
 
@@ -68,6 +69,10 @@ class MessageChannel:
         self.frames_sent = 0
         self.frames_received = 0
         self.decode_errors = 0
+        # send-side coalescing buffer and decoded-but-undelivered messages
+        # from a BATCH frame (recv hands them out one at a time)
+        self._outbox: list[Message] = []
+        self._inbox: collections.deque[Message] = collections.deque()
 
     # -- sending ---------------------------------------------------------------
 
@@ -77,21 +82,54 @@ class MessageChannel:
         msg = Message(tag=tag, src=self.local_rank, dst=dst, payload=payload, seq=self.stamper())
         return self.send_message(msg)
 
+    def queue(self, dst: int, tag: MessageTag, payload: Any) -> None:
+        """Stamp one message and buffer it for the next :meth:`flush`.
+
+        Queued messages coalesce into a single BATCH frame, so the
+        per-frame cost (header, CRC, syscall) is paid once per flush —
+        the wire-path fix for chatty worker loops (STATUS piggybacks on
+        whatever RESULT/SOLUTION/NODE_TRANSFER traffic the step produced).
+        """
+        self.queue_message(
+            Message(tag=tag, src=self.local_rank, dst=dst, payload=payload, seq=self.stamper())
+        )
+
+    def queue_message(self, msg: Message) -> None:
+        """Buffer an already-stamped message for the next :meth:`flush`."""
+        self._outbox.append(msg)
+
+    def flush(self) -> bool:
+        """Ship everything queued as one frame; True unless the transport
+        is closed (black hole) or the whole frame was fault-dropped."""
+        if not self._outbox:
+            return True
+        msgs, self._outbox = self._outbox, []
+        if len(msgs) == 1:
+            return self.send_message(msgs[0])
+        frame = encode_batch(msgs)
+        if self.metrics is not None:
+            self.metrics.inc("net_batches_sent")
+            self.metrics.inc("net_msgs_coalesced", len(msgs))
+        return self._ship_frame(frame, tag=f"batch[{len(msgs)}]", dst=msgs[0].dst)
+
     def send_message(self, msg: Message) -> bool:
-        frame = encode_message(msg)
+        return self._ship_frame(encode_message(msg), tag=msg.tag.value, dst=msg.dst)
+
+    def _ship_frame(self, frame: bytes, tag: str, dst: int) -> bool:
+        """The single frame seam: fault injection, transport, accounting."""
         action = None
         if self.injector is not None:
-            action = self.injector.frame_action(msg.src, msg.dst)
+            action = self.injector.frame_action(self.local_rank, dst)
         if action == "drop":
-            self._trace("frame_fault", action="drop", tag=msg.tag.value, dst=msg.dst)
+            self._trace("frame_fault", action="drop", tag=tag, dst=dst)
             return False
         if action in ("corrupt", "truncate"):
-            self._trace("frame_fault", action=action, tag=msg.tag.value, dst=msg.dst)
+            self._trace("frame_fault", action=action, tag=tag, dst=dst)
             frame = corrupt_frame(frame, action)
         try:
             self.transport.send_frame(frame)
         except TransportClosedError:
-            self._trace("send_closed", tag=msg.tag.value, dst=msg.dst)
+            self._trace("send_closed", tag=tag, dst=dst)
             return False
         self.frames_sent += 1
         self.bytes_sent += len(frame)
@@ -103,27 +141,39 @@ class MessageChannel:
     # -- receiving -------------------------------------------------------------
 
     def recv(self, timeout: float = 0.0) -> Message | None:
-        """One decoded message, or None on timeout *and* on a malformed
-        frame (which is traced/counted — net faults degrade to message
-        loss, and message loss is already survivable by PR 1's
-        heartbeat/reclaim machinery).  Raises
-        :class:`TransportClosedError` once the peer is gone."""
-        frame = self.transport.recv_frame(timeout)
-        if frame is None:
-            return None
-        self.frames_received += 1
-        self.bytes_received += len(frame)
-        if self.metrics is not None:
-            self.metrics.inc("net_frames_received")
-            self.metrics.inc("net_bytes_received", len(frame))
-        try:
-            return decode_message(frame)
-        except FrameDecodeError as exc:
-            self.decode_errors += 1
+        """One decoded message, or None when nothing (valid) is available.
+
+        A malformed frame is traced/counted and *skipped* — the loop keeps
+        reading, so one corrupt frame can never make a receiver treat the
+        channel as drained while good frames sit buffered behind it (net
+        faults degrade to message loss, which PR 1's heartbeat/reclaim
+        machinery already survives).  BATCH frames dissolve here: the
+        first message returns now, the rest queue for subsequent calls.
+        Raises :class:`TransportClosedError` once the peer is gone."""
+        if self._inbox:
+            return self._inbox.popleft()
+        while True:
+            frame = self.transport.recv_frame(timeout)
+            if frame is None:
+                return None
+            self.frames_received += 1
+            self.bytes_received += len(frame)
             if self.metrics is not None:
-                self.metrics.inc("net_decode_errors")
-            self._trace("net_decode_error", error=type(exc).__name__, bytes=len(frame))
-            return None
+                self.metrics.inc("net_frames_received")
+                self.metrics.inc("net_bytes_received", len(frame))
+            try:
+                msgs = decode_frame(frame)
+            except FrameDecodeError as exc:
+                self.decode_errors += 1
+                if self.metrics is not None:
+                    self.metrics.inc("net_decode_errors")
+                self._trace("net_decode_error", error=type(exc).__name__, bytes=len(frame))
+                # skip the bad frame; anything already buffered behind it
+                # must come out on this same call
+                timeout = 0.0
+                continue
+            self._inbox.extend(msgs[1:])
+            return msgs[0]
 
     def drain(self, limit: int = 1024) -> list[Message]:
         """Every message currently available, without blocking."""
@@ -134,17 +184,9 @@ class MessageChannel:
             except TransportClosedError:
                 break
             if msg is None:
-                # distinguish "empty" from "decoded garbage": only stop
-                # when the transport truly had nothing buffered
-                if not self._has_pending():
-                    break
-                continue
+                break
             out.append(msg)
         return out
-
-    def _has_pending(self) -> bool:
-        pending = getattr(self.transport, "pending", None)
-        return bool(pending()) if callable(pending) else False
 
     def close(self) -> None:
         self.transport.close()

@@ -68,8 +68,15 @@ _TAG_TO_CODE: dict[MessageTag, int] = {
     MessageTag.DRAIN: 13,
     MessageTag.DRAINED: 14,
     MessageTag.JOIN: 15,
+    MessageTag.RESET: 16,
 }
 _CODE_TO_TAG = {code: tag for tag, code in _TAG_TO_CODE.items()}
+
+#: frame-level tag code for a coalesced frame carrying several messages;
+#: deliberately far from the append-only protocol range so a future tag
+#: can never collide with it.  A BATCH code exists only at the frame
+#: layer — there is no MessageTag for it, batches dissolve on decode.
+BATCH_FRAME_CODE = 255
 
 
 # -- typed errors ---------------------------------------------------------------
@@ -228,12 +235,9 @@ def frame_length(buffer: bytes) -> int | None:
     return HEADER_SIZE + payload_len + TRAILER_SIZE
 
 
-def decode_message(frame: bytes) -> Message:
-    """Decode exactly one frame back into a fresh :class:`Message`.
-
-    Every failure mode raises a :class:`FrameDecodeError` subclass; the
-    returned message shares no object identity with whatever was encoded.
-    """
+def _checked_frame(frame: bytes) -> tuple[int, int, int, int, bytes]:
+    """Validate length/magic/version/CRC; return (tag_code, src, dst, seq,
+    payload bytes).  Shared by the single-message and batch decode paths."""
     total = frame_length(frame)
     if total is None:
         raise TruncatedFrameError(f"frame of {len(frame)} bytes is shorter than a header")
@@ -247,11 +251,100 @@ def decode_message(frame: bytes) -> Message:
     if stored_crc != actual_crc:
         raise ChecksumError(f"frame CRC mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})")
     _magic, _version, tag_code, src, dst, seq, payload_len = _HEADER.unpack_from(frame)
+    return tag_code, src, dst, seq, frame[HEADER_SIZE : HEADER_SIZE + payload_len]
+
+
+def decode_message(frame: bytes) -> Message:
+    """Decode exactly one frame back into a fresh :class:`Message`.
+
+    Every failure mode raises a :class:`FrameDecodeError` subclass; the
+    returned message shares no object identity with whatever was encoded.
+    BATCH frames are rejected here — use :func:`decode_frame` on paths
+    that may legitimately receive coalesced traffic.
+    """
+    tag_code, src, dst, seq, payload_bytes = _checked_frame(frame)
+    if tag_code == BATCH_FRAME_CODE:
+        raise FrameDecodeError("BATCH frame on a single-message decode path")
     tag = _CODE_TO_TAG.get(tag_code)
     if tag is None:
         raise UnknownTagError(f"unknown message tag code {tag_code}")
-    payload = decode_payload(frame[HEADER_SIZE : HEADER_SIZE + payload_len])
+    payload = decode_payload(payload_bytes)
     return Message(tag=tag, src=src, dst=dst, payload=payload, seq=seq)
+
+
+# -- frame coalescing (BATCH) -----------------------------------------------------
+#
+# A BATCH frame amortizes the per-frame cost (header, CRC, transport
+# syscall, fault-injection bookkeeping) over several protocol messages:
+# the payload is a JSON array of inner records, each carrying the tag
+# code, routing and seq a standalone frame would have carried in its
+# header.  The frame-level src/dst/seq mirror the first inner message, so
+# traffic accounting by endpoint still works.  A corrupt BATCH loses all
+# of its messages at once — deterministic, and exactly what a dropped
+# TCP segment would do to back-to-back small frames.
+
+
+def encode_batch(msgs: list[Message]) -> bytes:
+    """Encode several messages as one coalesced BATCH frame."""
+    if not msgs:
+        raise PayloadEncodeError("cannot encode an empty BATCH frame")
+    if len(msgs) == 1:
+        return encode_message(msgs[0])
+    records = []
+    for msg in msgs:
+        try:
+            tag_code = _TAG_TO_CODE[msg.tag]
+        except KeyError:
+            raise PayloadEncodeError(f"message tag {msg.tag!r} has no wire code") from None
+        records.append(
+            {
+                "t": tag_code,
+                "s": msg.src,
+                "d": msg.dst,
+                "q": msg.seq if msg.seq is not None else -1,
+                "p": _to_wire(msg.payload),
+            }
+        )
+    payload = json.dumps(records, sort_keys=True, separators=(",", ":"), allow_nan=False).encode()
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise PayloadEncodeError(f"BATCH payload of {len(payload)} bytes exceeds MAX_PAYLOAD_BYTES")
+    first = msgs[0]
+    seq = first.seq if first.seq is not None else -1
+    head = _HEADER.pack(MAGIC, WIRE_VERSION, BATCH_FRAME_CODE, first.src, first.dst, seq, len(payload))
+    body = head + payload
+    return body + _TRAILER.pack(zlib.crc32(body))
+
+
+def decode_frame(frame: bytes) -> list[Message]:
+    """Decode one frame into its messages: ``[msg]`` for a plain frame,
+    every coalesced message (in send order) for a BATCH frame."""
+    tag_code, src, dst, seq, payload_bytes = _checked_frame(frame)
+    if tag_code != BATCH_FRAME_CODE:
+        tag = _CODE_TO_TAG.get(tag_code)
+        if tag is None:
+            raise UnknownTagError(f"unknown message tag code {tag_code}")
+        return [Message(tag=tag, src=src, dst=dst, payload=decode_payload(payload_bytes), seq=seq)]
+    try:
+        records = json.loads(payload_bytes.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise PayloadDecodeError(f"BATCH payload is not valid JSON: {exc}") from exc
+    if not isinstance(records, list) or not records:
+        raise PayloadDecodeError("BATCH payload is not a non-empty array")
+    out: list[Message] = []
+    for rec in records:
+        if not isinstance(rec, dict) or not {"t", "s", "d", "q", "p"} <= rec.keys():
+            raise PayloadDecodeError("malformed BATCH record")
+        tag = _CODE_TO_TAG.get(rec["t"])
+        if tag is None:
+            raise UnknownTagError(f"unknown message tag code {rec['t']} inside BATCH")
+        try:
+            payload = _from_wire(rec["p"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PayloadDecodeError(f"malformed typed payload in BATCH: {exc}") from exc
+        out.append(
+            Message(tag=tag, src=int(rec["s"]), dst=int(rec["d"]), payload=payload, seq=int(rec["q"]))
+        )
+    return out
 
 
 def roundtrip_message(msg: Message) -> Message:

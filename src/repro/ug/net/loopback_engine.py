@@ -134,6 +134,13 @@ class LoopbackNetEngine:
         if action == "delay" and extra_delay > 0:
             heapq.heappush(self._delayed, (self.now + extra_delay, next(self._delay_seq), msg.dst, msg))
             return
+        if msg.dst == LOAD_COORDINATOR_RANK:
+            # mirror the process worker's coalescing bit-identically:
+            # worker->LC messages ride the channel outbox and flush at the
+            # same loop seams (one BATCH frame per handle/work burst), so
+            # frame sequences — and frame-seam fault replay — match
+            self.rank_channels[msg.src].queue_message(msg)
+            return
         self._ship(msg)
 
     def _ship(self, msg: Message) -> None:
@@ -259,6 +266,7 @@ class LoopbackNetEngine:
             status_interval_work=self.config.status_interval_work,
             min_open_to_shed=self.config.min_open_to_shed,
             objective_epsilon=self.config.objective_epsilon,
+            transfer_batch=self.config.net_batch_nodes,
         )
         # attach_run_tracer only saw launch-time solvers
         solver.tracer = self.tracer
@@ -303,19 +311,23 @@ class LoopbackNetEngine:
             self._rank_send_raw(rank, dst, tag, payload)
 
         send_fn = make_retrying_send(send, self.config, self.injector, real_time=False)
+        channel = self.rank_channels[rank]
         pumped = False
-        for msg in self.rank_channels[rank].drain():
+        for msg in channel.drain():
             pumped = True
             if tracer.enabled:
                 tracer.emit(self.now, "deliver", rank, src=msg.src, tag=msg.tag.value)
             solver.handle_message(msg, send_fn)
             if solver.state == "terminated":
+                channel.flush()  # the goodbye (DRAINED/TERMINATED) must ship
                 return 0.0, True
+        channel.flush()  # same seam as the process worker: end of handle burst
         if deliver_only or not solver.is_busy:
             return 0.0, pumped
         nodes_before = solver.nodes_processed_total
         work = solver.do_work(send_fn) or 0.0
         self._nodes_total += solver.nodes_processed_total - nodes_before
+        channel.flush()  # same seam as the process worker: end of work step
         if work > 0:
             self._busy[rank] += work
             if tracer.enabled:

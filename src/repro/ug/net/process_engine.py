@@ -91,7 +91,7 @@ def _child_transport(spec: _SolverSpec, conn: Any) -> Transport:
 
 
 def _worker_main(spec: _SolverSpec, conn: Any) -> None:
-    """Process entry point for one ParaSolver rank (spawn target)."""
+    """Process entry point for one spawn-per-run ParaSolver rank."""
     try:
         code = _worker_loop(spec, conn)
     except (TransportClosedError, EOFError, BrokenPipeError):
@@ -103,17 +103,34 @@ def _worker_main(spec: _SolverSpec, conn: Any) -> None:
     os._exit(code)
 
 
-def _graceful_exit(channel: MessageChannel) -> int:
-    """Flush before leaving: a TCP worker's last frames (DRAINED, final
-    TERMINATED) sit in the sender thread's bounded queue — ``close()``
-    drains it before shutting the socket, so a graceful exit never loses
-    its goodbye.  Injected crashes skip this on purpose: they must look
-    like a kill, not a leave."""
-    channel.close()
-    return EXIT_OK
+def _pooled_worker_main(conn: Any) -> None:
+    """Entry point for a *reusable* (warm-pool) worker, pipe mode only.
+
+    The worker is armed by a pickled :class:`_SolverSpec` arriving on the
+    Connection — the same trust boundary as spawn args, NOT the wire
+    codec, which stays pickle-free — runs one full ParaSolver lifetime,
+    marks the run boundary with a RESET frame, and loops back for the
+    next spec.  ``None`` retires the worker; any abnormal run exit
+    (injected crash, lost coordinator) kills the process exactly like a
+    spawn-per-run worker, so a tainted worker can never re-enter the pool.
+    """
+    code = EXIT_OK
+    try:
+        while True:
+            spec = conn.recv()  # parent-controlled pickle, like spawn args
+            if spec is None:
+                break
+            code = _worker_loop(spec, conn, reusable=True)
+            if code != EXIT_OK:
+                break
+    except (TransportClosedError, EOFError, BrokenPipeError, OSError):
+        code = EXIT_COMM_LOST
+    except KeyboardInterrupt:  # pragma: no cover - operator interrupt
+        code = EXIT_COMM_LOST
+    os._exit(code)
 
 
-def _worker_loop(spec: _SolverSpec, conn: Any) -> int:
+def _worker_loop(spec: _SolverSpec, conn: Any, reusable: bool = False) -> int:
     config = spec.config
     solver = ParaSolver(
         rank=spec.rank,
@@ -124,6 +141,7 @@ def _worker_loop(spec: _SolverSpec, conn: Any) -> int:
         status_interval_work=config.status_interval_work,
         min_open_to_shed=config.min_open_to_shed,
         objective_epsilon=config.objective_epsilon,
+        transfer_batch=config.net_batch_nodes,
     )
     injector = FaultInjector(config.fault_plan)
     channel = MessageChannel(
@@ -143,8 +161,27 @@ def _worker_loop(spec: _SolverSpec, conn: Any) -> int:
         # a second accounting channel
         if isinstance(payload, dict) and tag in (MessageTag.STATUS, MessageTag.TERMINATED):
             payload = dict(payload, busy_wall=busy_wall)
-        if not channel.send(dst, tag, payload):
+        # coalesce: everything a handling/work burst produces rides one
+        # BATCH frame, flushed at the loop's seams below
+        channel.queue(dst, tag, payload)
+
+    def flush() -> None:
+        if not channel.flush():
             raise TransportClosedError("coordinator is gone")
+
+    def finish() -> int:
+        """Graceful run end.  Spawn-per-run: flush and close (a TCP
+        worker's goodbye frames sit in the sender queue; ``close()``
+        drains them).  Pooled: mark the run boundary with RESET and keep
+        the pipe open for the next spec.  Injected crashes skip all of
+        this on purpose — they must look like a kill, not a leave."""
+        flush()
+        if reusable:
+            if not channel.send(LOAD_COORDINATOR_RANK, MessageTag.RESET, {"rank": spec.rank}):
+                return EXIT_COMM_LOST
+            return EXIT_OK
+        channel.close()
+        return EXIT_OK
 
     send = make_retrying_send(raw_send, config, injector, real_time=True)
     poll = max(config.net_poll_interval, 1e-4)
@@ -153,23 +190,121 @@ def _worker_loop(spec: _SolverSpec, conn: Any) -> int:
         if injector.maybe_crash(spec.rank, now, solver.nodes_processed_total):
             return EXIT_INJECTED_CRASH  # die abruptly, exactly like a kill
         if solver.is_busy:
+            # busy wall-clock covers the whole working burst — message
+            # decode/handling, the solver step and the encode/flush — so
+            # idle_ratio counts only genuine waiting-for-work time
+            t_work = time.perf_counter()
             while True:
                 msg = channel.recv(0.0)
                 if msg is None:
                     break
                 solver.handle_message(msg, send)
                 if solver.state == "terminated":
-                    return _graceful_exit(channel)
+                    busy_wall += time.perf_counter() - t_work
+                    return finish()
+            flush()
             if not solver.is_busy:
+                busy_wall += time.perf_counter() - t_work
                 continue
-            t_work = time.perf_counter()
             solver.do_work(send)
+            flush()
             busy_wall += time.perf_counter() - t_work
         else:
             msg = channel.recv(poll)
             if msg is not None:
+                t_work = time.perf_counter()
                 solver.handle_message(msg, send)
-    return _graceful_exit(channel)
+                flush()
+                busy_wall += time.perf_counter() - t_work
+    return finish()
+
+
+# -- warm worker pool --------------------------------------------------------------
+
+
+class _WarmWorkerPool:
+    """Process-local pool of idle reusable workers (pipe transport).
+
+    Spawning a worker costs a full interpreter start plus the numpy/scipy
+    import cascade — over a second on small machines, which dwarfs many
+    whole solves.  The pool keeps gracefully finished workers parked in
+    ``conn.recv()`` so the next run re-arms them with a fresh spec
+    instead of paying spawn-per-run.  Only workers that completed the
+    RESET handshake are ever released back; crashed, drained-then-dead or
+    fault-injected workers take the spawn path and die with their run.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._idle: list[tuple[Any, Any]] = []  # (process, parent Connection)
+
+    def acquire(self) -> tuple[Any, Any] | None:
+        with self._lock:
+            while self._idle:
+                proc, conn = self._idle.pop()
+                if proc.is_alive():
+                    return proc, conn
+                conn.close()  # died while parked; discard
+        return None
+
+    def release(self, proc: Any, conn: Any) -> None:
+        with self._lock:
+            if proc.is_alive():
+                self._idle.append((proc, conn))
+                return
+        conn.close()
+
+    def warm(self, n: int, ctx: Any = None) -> int:
+        """Pre-spawn workers until ``n`` sit idle; returns how many were
+        actually spawned.  Call before timing-sensitive runs (benchmarks,
+        serving) so no measured run pays interpreter start-up."""
+        ctx = ctx or multiprocessing.get_context("spawn")
+        with self._lock:
+            missing = max(0, n - len(self._idle))
+        fresh: list[tuple[Any, Any]] = []
+        for _ in range(missing):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_pooled_worker_main,
+                args=(child_conn,),
+                name="ParaSolver-pooled",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            fresh.append((proc, parent_conn))
+        with self._lock:
+            self._idle.extend(fresh)
+        return len(fresh)
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    def shutdown(self) -> None:
+        """Retire every parked worker (None sentinel, then reap)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for _proc, conn in idle:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc, conn in idle:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(timeout=2.0)
+            conn.close()
+
+
+#: the module-level pool shared by every ProcessEngine in this process
+WORKER_POOL = _WarmWorkerPool()
+
+
+def warm_pool(n: int) -> int:
+    """Pre-spawn ``n`` idle pooled workers; returns how many were spawned."""
+    return WORKER_POOL.warm(n)
 
 
 class ProcessEngine:
@@ -195,6 +330,20 @@ class ProcessEngine:
         self._busy: dict[int, float] = {r: 0.0 for r in solvers}
         self._down: set[int] = set()
         self._t0 = 0.0
+        # per-rank alive intervals: idle_ratio charges each rank only for
+        # the wall time its process actually existed (a late joiner or an
+        # early-drained rank must not be billed for the full run span)
+        self._alive_since: dict[int, float] = {}
+        self._alive_span: dict[int, float] = {}
+        self._last_death_poll = 0.0
+        # injected-delay timers: cancelled in _shutdown so a late firing
+        # can never race a closing channel
+        self._timers: list[threading.Timer] = []
+        # warm-pool bookkeeping: ranks running in a reusable worker, and
+        # ranks whose worker was already parked back into the pool
+        self._use_pool = False
+        self._pooled: set[int] = set()
+        self._parked: set[int] = set()
         # launch plumbing kept on self so a rank can also be spawned
         # *after* launch (ClusterSupervisor joins)
         self._ctx = multiprocessing.get_context("spawn")
@@ -227,6 +376,13 @@ class ProcessEngine:
         if mode not in ("pipe", "tcp"):
             raise CommError(f"unknown net_transport {mode!r} (want 'pipe' or 'tcp')")
         self._mode = mode
+        # the pool is pipe-only (a pooled worker keeps its Connection
+        # across runs; TCP workers dial per run) and never mixes with
+        # fault plans: an injected crash must kill a process for real,
+        # and replay determinism assumes spawn-fresh workers
+        self._use_pool = (
+            mode == "pipe" and self.config.net_warm_pool and self.config.fault_plan is None
+        )
         if mode == "tcp":
             self._listener = tcp_listener()
             self._tcp_addr = self._listener.getsockname()
@@ -241,17 +397,21 @@ class ProcessEngine:
 
     def _spawn_rank(self, rank: int) -> None:
         """Fork one worker process; pipe mode wires its channel immediately,
-        TCP mode waits for the dial-back."""
+        TCP mode waits for the dial-back.  With the warm pool on, pipe mode
+        re-arms a parked worker (or spawns a reusable one) instead."""
         if self._mode == "pipe":
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(self._spec_for(rank, None, b""), child_conn),
-                name=f"ParaSolver-{rank}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
+            if self._use_pool:
+                proc, parent_conn = self._arm_pooled(rank)
+            else:
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                proc = self._ctx.Process(
+                    target=_worker_main,
+                    args=(self._spec_for(rank, None, b""), child_conn),
+                    name=f"ParaSolver-{rank}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
             transport: Transport = PipeTransport(parent_conn)
             self.channels[rank] = self._make_channel(rank, transport, self._lc_stamper)
         else:
@@ -263,6 +423,36 @@ class ProcessEngine:
             )
             proc.start()
         self.procs[rank] = proc
+        self._alive_since[rank] = self._now()
+
+    def _arm_pooled(self, rank: int) -> tuple[Any, Any]:
+        """Hand a spec to a pooled worker, reusing a parked one if any."""
+        spec = self._spec_for(rank, None, b"")
+        while True:
+            acquired = WORKER_POOL.acquire()
+            if acquired is None:
+                break
+            proc, parent_conn = acquired
+            try:
+                parent_conn.send(spec)
+            except (BrokenPipeError, OSError):
+                parent_conn.close()  # died between park and reuse
+                continue
+            self._pooled.add(rank)
+            self.lc.metrics.inc("warm_pool_reuses")
+            return proc, parent_conn
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pooled_worker_main,
+            args=(child_conn,),
+            name=f"ParaSolver-{rank}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        parent_conn.send(spec)
+        self._pooled.add(rank)
+        return proc, parent_conn
 
     def _close_listener(self) -> None:
         """Initial accepts done; the static engine needs no more dial-ins.
@@ -319,22 +509,54 @@ class ProcessEngine:
         self.injector.check_send(LOAD_COORDINATOR_RANK)
         channel = self.channels.get(dst)
         if channel is None:
+            if dst in self._parked:
+                return  # worker already back in the pool: black hole, like a closed channel
             raise CommError(f"unknown rank {dst}")
         msg = Message(tag=tag, src=LOAD_COORDINATOR_RANK, dst=dst, payload=payload, seq=channel.stamper())
         action, extra_delay = self.injector.message_action(msg)
         if action == "drop":
             return
         if action == "delay" and extra_delay > 0:
-            timer = threading.Timer(extra_delay, channel.send_message, args=(msg,))
+            # guard + track: a Timer that fires after _shutdown closed the
+            # channel must not race the transport (send_message itself
+            # black-holes a closed transport; the guard skips the common
+            # case, _shutdown cancels whatever hasn't fired yet)
+            def _deliver_late(channel: MessageChannel = channel, msg: Message = msg) -> None:
+                if not channel.closed:
+                    channel.send_message(msg)
+
+            timer = threading.Timer(extra_delay, _deliver_late)
             timer.daemon = True
+            self._timers.append(timer)
             timer.start()
             return
         channel.send_message(msg)  # False (dead peer) = black hole
+
+    def _end_alive(self, rank: int) -> None:
+        """Close out a rank's alive interval (idempotent)."""
+        since = self._alive_since.pop(rank, None)
+        if since is not None:
+            self._alive_span[rank] = self._alive_span.get(rank, 0.0) + max(self._now() - since, 0.0)
+
+    def _park_pooled(self, rank: int) -> None:
+        """RESET received: the worker finished its run gracefully — return
+        it to the pool and retire the rank without closing the Connection."""
+        proc = self.procs.pop(rank, None)
+        channel = self.channels.pop(rank, None)
+        self._end_alive(rank)
+        self._parked.add(rank)
+        if proc is None or channel is None or channel.closed:
+            return
+        conn = getattr(channel.transport, "conn", None)
+        if conn is None:  # pragma: no cover - pooled ranks are pipe-only
+            return
+        WORKER_POOL.release(proc, conn)
 
     def _note_death(self, rank: int, send: Any, reason: str) -> None:
         if rank in self._down:
             return
         self._down.add(rank)
+        self._end_alive(rank)
         channel = self.channels.get(rank)
         if channel is not None and not channel.closed:
             channel.close()
@@ -354,6 +576,7 @@ class ProcessEngine:
             if rank in lc.departed:
                 # drain completed: retire the channel without a death note
                 self._down.add(rank)
+                self._end_alive(rank)
                 channel = self.channels.get(rank)
                 if channel is not None and not channel.closed:
                     channel.close()
@@ -373,6 +596,8 @@ class ProcessEngine:
                 return
             if msg is None:
                 return
+            if msg.tag is MessageTag.RESET:
+                continue  # pooled run-boundary marker, not a protocol message
             now = self._now()
             if isinstance(msg.payload, dict) and "busy_wall" in msg.payload:
                 self._busy[msg.src] = float(msg.payload["busy_wall"])
@@ -419,7 +644,9 @@ class ProcessEngine:
             for rank in sorted(self.channels):
                 if rank in self._down or lc.finished:
                     continue
-                channel = self.channels[rank]
+                channel = self.channels.get(rank)
+                if channel is None:  # parked mid-scan by a RESET
+                    continue
                 while not lc.finished:
                     try:
                         msg = channel.recv(0.0)
@@ -429,6 +656,12 @@ class ProcessEngine:
                     if msg is None:
                         break
                     progressed = True
+                    if msg.tag is MessageTag.RESET:
+                        # a drained pooled worker finished its run mid-flight:
+                        # park it for reuse and stop reading this rank
+                        if rank in self._pooled:
+                            self._park_pooled(rank)
+                        break
                     now = self._now()
                     if tracer.enabled:
                         tracer.emit(now, "deliver", LOAD_COORDINATOR_RANK, src=msg.src, tag=msg.tag.value)
@@ -438,21 +671,42 @@ class ProcessEngine:
                     lc.on_tick(send, now)
             if lc.finished:
                 break
-            self._poll_deaths(send)
+            # death checks cost a waitpid per rank — poll-interval cadence
+            # is plenty (a dead rank's pipe also trips TransportClosedError)
+            now = self._now()
+            if now - self._last_death_poll >= poll or not progressed:
+                self._poll_deaths(send)
+                self._last_death_poll = now
             lc.on_tick(send, self._now())
             if not progressed:
                 self._wait_readable(poll)
         self._shutdown()
         lc.stats.solver_busy = dict(self._busy)
         self.injector.export_stats(lc.stats)
+        # idle_ratio over *alive intervals*: each rank is charged only for
+        # the wall time its process existed, clipped to the run span — not
+        # span × nranks, which billed late joiners and early leavers for
+        # the whole run and made elastic/drain runs look artificially idle
         span = lc.stats.computing_time or self._now()
-        total = span * max(len(self.procs), 1)  # every rank ever launched
-        busy = sum(min(b, span) for b in self._busy.values())
+        for rank in list(self._alive_since):
+            self._end_alive(rank)
+        alive = {r: min(s, span) for r, s in self._alive_span.items()}
+        total = sum(alive.values())
+        if total <= 0.0:  # pragma: no cover - no rank ever launched
+            total = span * max(len(self.procs), 1)
+        busy = sum(min(b, alive.get(r, span)) for r, b in self._busy.items())
         lc.metrics.set("idle_ratio", max(0.0, 1.0 - busy / total) if total > 0 else 0.0)
 
     def _shutdown(self) -> None:
-        """Give children the grace period to honor TERMINATION, then reap."""
+        """Give children the grace period to honor TERMINATION, then reap.
+        Pooled workers are drained to their RESET marker and parked for
+        reuse instead of being joined to death."""
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
         deadline = time.monotonic() + self.config.net_shutdown_grace
+        if self._pooled:
+            self._release_pooled(deadline)
         for proc in self.procs.values():
             proc.join(timeout=max(deadline - time.monotonic(), 0.1))
         for rank, proc in self.procs.items():
@@ -462,3 +716,34 @@ class ProcessEngine:
         for channel in self.channels.values():
             if not channel.closed:
                 channel.close()
+
+    def _release_pooled(self, deadline: float) -> None:
+        """Drain each healthy pooled rank to its RESET marker, then park it.
+        A rank that never RESETs inside the grace period (wedged mid-step)
+        falls through to the normal join/kill path."""
+        for rank in sorted(self._pooled):
+            proc = self.procs.get(rank)
+            channel = self.channels.get(rank)
+            if proc is None or channel is None:
+                continue  # already parked mid-run (drain path)
+            if rank in self._down or channel.closed or not proc.is_alive():
+                continue
+            parked = False
+            while time.monotonic() < deadline:
+                try:
+                    msg = channel.recv(0.02)
+                except TransportClosedError:
+                    break
+                if msg is None:
+                    if not proc.is_alive():
+                        break
+                    continue
+                # late end-of-run frames: keep the busy accounting, drop
+                # the rest — the coordinator is already finished
+                if isinstance(msg.payload, dict) and "busy_wall" in msg.payload:
+                    self._busy[msg.src] = float(msg.payload["busy_wall"])
+                if msg.tag is MessageTag.RESET:
+                    parked = True
+                    break
+            if parked:
+                self._park_pooled(rank)

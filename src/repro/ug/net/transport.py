@@ -205,6 +205,16 @@ class PipeTransport(Transport):
             self._closed = True
             raise TransportClosedError(f"pipe peer is gone: {exc}") from exc
 
+    def pending(self) -> int:
+        """1 when at least one frame is readable right now (a Connection
+        cannot count its buffer without consuming it), else 0."""
+        if self._closed:
+            return 0
+        try:
+            return 1 if self.conn.poll(0) else 0
+        except (BrokenPipeError, ConnectionError, EOFError, OSError):
+            return 0
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
@@ -351,6 +361,10 @@ class TcpTransport(Transport):
         self._rbuf.extend(chunk)
         self._parse_frames()
         return self._frames.popleft() if self._frames else None
+
+    def pending(self) -> int:
+        """Frames already parsed off the socket and awaiting delivery."""
+        return len(self._frames)
 
     def _parse_frames(self) -> None:
         while len(self._rbuf) >= _LEN_PREFIX.size:

@@ -43,6 +43,7 @@ class ParaSolver:
         status_interval_work: float = 0.05,
         min_open_to_shed: int = 4,
         objective_epsilon: float = 1e-9,
+        transfer_batch: int = 1,
     ) -> None:
         if rank == LOAD_COORDINATOR_RANK:
             raise ValueError("rank 0 is reserved for the LoadCoordinator")
@@ -53,6 +54,9 @@ class ParaSolver:
         self.seed = seed
         self.status_interval_work = status_interval_work
         self.min_open_to_shed = min_open_to_shed
+        # nodes shed per collect step, coalesced into one NODE_TRANSFER
+        # (config.net_batch_nodes; 1 = the classic one-node protocol)
+        self.transfer_batch = max(1, int(transfer_batch))
         # must match the coordinator's pruning epsilon: with the integral
         # setting (1 - 1e-6) a worker reporting every 1e-9 improvement
         # would spam solutions the Supervisor rejects
@@ -261,14 +265,26 @@ class ParaSolver:
                 self._first_step = False
             send(LOAD_COORDINATOR_RANK, MessageTag.STATUS, status)
         if self.collect_mode and self.state == "working" and step.n_open >= self.min_open_to_shed:
-            para = self.handle.extract_para_node()
-            if para is not None:
-                assert self.current_node is not None
-                para.lineage = self.current_node.lineage + (
-                    (self.current_node.lc_id,) if self.current_node.lc_id >= 0 else ()
-                )
+            assert self.current_node is not None
+            lineage = self.current_node.lineage + (
+                (self.current_node.lc_id,) if self.current_node.lc_id >= 0 else ()
+            )
+            shed: list[ParaNode] = []
+            # the first extraction keeps the classic n_open >= min_open_to_shed
+            # gate; each further one must still leave min_open_to_shed nodes
+            while len(shed) < self.transfer_batch and (
+                not shed or step.n_open - len(shed) >= self.min_open_to_shed
+            ):
+                para = self.handle.extract_para_node()
+                if para is None:
+                    break
+                para.lineage = lineage
                 tracer.emit(self.busy_work, "shed", self.rank, dual=para.dual_bound, depth=para.depth)
-                send(LOAD_COORDINATOR_RANK, MessageTag.NODE_TRANSFER, {"node": para, "rank": self.rank})
+                shed.append(para)
+            if len(shed) == 1:
+                send(LOAD_COORDINATOR_RANK, MessageTag.NODE_TRANSFER, {"node": shed[0], "rank": self.rank})
+            elif shed:
+                send(LOAD_COORDINATOR_RANK, MessageTag.NODE_TRANSFER, {"nodes": shed, "rank": self.rank})
         return work
 
     @property

@@ -70,6 +70,10 @@ class UGStatistics:
     net_bytes_received: int = 0
     net_decode_errors: int = 0  # malformed frames rejected by the codec
     net_queue_peak: int = 0  # high-water mark of a bounded outbound queue
+    net_batches_sent: int = 0  # coalesced BATCH frames shipped
+    net_msgs_coalesced: int = 0  # messages that rode inside BATCH frames
+    incumbent_broadcasts_deferred: int = 0  # improvements held by the debounce
+    warm_pool_reuses: int = 0  # ranks served by a pooled worker instead of a spawn
 
     @property
     def surviving_solvers(self) -> int:

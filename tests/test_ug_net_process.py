@@ -49,6 +49,48 @@ def test_process_smoke_two_ranks():
     assert set(res.stats.solver_busy) == {1, 2}
 
 
+def test_process_warm_pool_reuse():
+    """Back-to-back runs are served by parked pooled workers, not fresh
+    spawns: the second run reports every rank as a pool reuse, and the
+    answers stay right.  Also pins the alive-interval idle accounting —
+    a pipelined 1-rank run is busy nearly wall-to-wall."""
+    from repro.ug.net.process_engine import WORKER_POOL, warm_pool
+
+    graph = hypercube_instance(4, perturbed=False, seed=1)
+    plugins = SteinerUserPlugins()
+    sim = ug(graph.copy(), plugins, n_solvers=1, comm="sim",
+             config=UGConfig(**STP_CFG)).run()
+    warm_pool(1)
+    results = [
+        ug(graph.copy(), plugins, n_solvers=1, comm="process",
+           config=UGConfig(**STP_CFG)).run()
+        for _ in range(2)
+    ]
+    for res in results:
+        assert res.solved and res.objective == sim.objective
+        assert res.stats.warm_pool_reuses == 1
+        # satellite (a): idle is measured against the rank's alive span,
+        # not span x nranks — a busy single rank cannot look mostly idle
+        assert 0.0 <= res.stats.idle_ratio < 0.5
+        check_ug_steiner_result(graph, res).raise_if_failed()
+    # the worker went back to the pool after each run
+    assert WORKER_POOL.size() >= 1
+
+
+def test_warm_pool_not_used_under_fault_plans():
+    """Fault-injected runs must see pristine workers (a pooled worker
+    carries no injector state), so the pool is bypassed."""
+    from repro.ug.net.process_engine import warm_pool
+
+    graph = hypercube_instance(4, perturbed=False, seed=1)
+    warm_pool(1)
+    plan = FaultPlan(crashes=(SolverCrash(rank=1, at_time=1e9),))  # inert
+    res = ug(graph.copy(), SteinerUserPlugins(), n_solvers=1, comm="process",
+             config=UGConfig(fault_plan=plan, **STP_CFG)).run()
+    assert res.solved
+    assert res.stats.warm_pool_reuses == 0
+
+
 @pytest.mark.slow
 def test_process_four_ranks_matches_sim():
     """The ISSUE acceptance run: 4 ranks, real processes, OPTIMAL with

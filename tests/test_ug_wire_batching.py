@@ -1,0 +1,289 @@
+"""Wire-path coalescing: BATCH frames, channel queue/flush, debounce.
+
+The BATCH frame (PR 7) is the only wire construct that carries several
+protocol messages at once, so it gets its own property tests (roundtrip
+over randomized protocol payloads), rejection tests (a corrupt BATCH
+must fail loudly, not deliver half its messages) and end-to-end checks:
+the batched loopback engine must still agree with the SimEngine and
+must still replay bit-identically under an injected fault plan.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.apps.stp_plugins import SteinerUserPlugins
+from repro.cip.params import ParamSet
+from repro.steiner.instances import hypercube_instance
+from repro.ug import ug
+from repro.ug.config import UGConfig
+from repro.ug.faults import FaultPlan, FrameFault
+from repro.ug.load_coordinator import LoadCoordinator
+from repro.ug.messages import Message, MessageTag
+from repro.ug.net.channel import MessageChannel, corrupt_frame
+from repro.ug.net.codec import (
+    BATCH_FRAME_CODE,
+    HEADER_SIZE,
+    WIRE_VERSION,
+    ChecksumError,
+    FrameDecodeError,
+    PayloadDecodeError,
+    PayloadEncodeError,
+    decode_frame,
+    decode_message,
+    encode_batch,
+    encode_message,
+)
+from repro.ug.net.transport import LoopbackTransport
+from repro.ug.para_solution import ParaSolution
+from repro.ug.user_plugins import UserPlugins
+from repro.verify import audit_ug_run, check_ug_steiner_result
+from tests.test_ug_net import STP_CFG, assert_payload_equal, random_payload
+
+TAGS = list(MessageTag)
+
+
+def random_messages(rng: np.random.Generator, n: int) -> list[Message]:
+    return [
+        Message(
+            tag=TAGS[int(rng.integers(0, len(TAGS)))],
+            src=int(rng.integers(0, 64)),
+            dst=int(rng.integers(0, 64)),
+            payload=random_payload(rng),
+            seq=int(rng.integers(0, 2**40)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestBatchRoundtrip:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_randomized_batches(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        msgs = random_messages(rng, int(rng.integers(2, 7)))
+        out = decode_frame(encode_batch(msgs))
+        assert len(out) == len(msgs)
+        for orig, got in zip(msgs, out):
+            assert got.tag is orig.tag
+            assert got.src == orig.src and got.dst == orig.dst and got.seq == orig.seq
+            assert_payload_equal(orig.payload, got.payload)
+
+    def test_single_message_batch_is_a_plain_frame(self):
+        """Coalescing one message must not cost a BATCH envelope."""
+        msg = Message(MessageTag.STATUS, 1, 0, {"rank": 1}, seq=5)
+        frame = encode_batch([msg])
+        assert frame == encode_message(msg)
+        assert decode_message(frame).payload == {"rank": 1}
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(PayloadEncodeError):
+            encode_batch([])
+
+    def test_decode_frame_handles_plain_frames_too(self):
+        msg = Message(MessageTag.INCUMBENT, 2, 0, {"value": 7.0}, seq=9)
+        (got,) = decode_frame(encode_message(msg))
+        assert got.tag is MessageTag.INCUMBENT and got.payload == {"value": 7.0}
+
+    def test_single_message_decode_path_refuses_batches(self):
+        msgs = random_messages(np.random.default_rng(0), 3)
+        with pytest.raises(FrameDecodeError):
+            decode_message(encode_batch(msgs))
+
+
+class TestBatchRejection:
+    def frame(self) -> bytes:
+        rng = np.random.default_rng(7)
+        return encode_batch(random_messages(rng, 4))
+
+    def _restamp(self, body: bytes) -> bytes:
+        return body + struct.pack("!I", zlib.crc32(body))
+
+    def test_corrupt_and_truncate_rejected(self):
+        for mode in ("corrupt", "truncate"):
+            with pytest.raises(FrameDecodeError):
+                decode_frame(corrupt_frame(self.frame(), mode))
+
+    def test_flipped_payload_byte_rejected(self):
+        f = self.frame()
+        pos = HEADER_SIZE + 3
+        bad = f[:pos] + bytes([f[pos] ^ 0x1]) + f[pos + 1 :]
+        with pytest.raises(ChecksumError):
+            decode_frame(bad)
+
+    def test_batch_payload_must_be_json_array(self):
+        head = struct.Struct("!2sBBiiqI").pack(
+            b"UG", WIRE_VERSION, BATCH_FRAME_CODE, 1, 0, 0, 2
+        )
+        with pytest.raises(PayloadDecodeError):
+            decode_frame(self._restamp(head + b"{}"))
+
+    def test_malformed_batch_record_rejected(self):
+        # valid CRC, valid JSON array, but a record missing its tag/seq keys
+        payload = b'[{"bogus": 1}]'
+        head = struct.Struct("!2sBBiiqI").pack(
+            b"UG", WIRE_VERSION, BATCH_FRAME_CODE, 1, 0, 0, len(payload)
+        )
+        with pytest.raises(PayloadDecodeError):
+            decode_frame(self._restamp(head + payload))
+
+
+class TestChannelCoalescing:
+    def pair(self):
+        ta, tb = LoopbackTransport.pair()
+        a = MessageChannel(ta, local_rank=1, remote_rank=0)
+        b = MessageChannel(tb, local_rank=0, remote_rank=1)
+        return ta, tb, a, b
+
+    def test_queue_flush_ships_one_frame(self):
+        _ta, tb, a, b = self.pair()
+        for i in range(5):
+            a.queue(0, MessageTag.STATUS, {"i": i})
+        assert tb.pending() == 0  # nothing on the wire until flush
+        assert a.flush()
+        assert tb.pending() == 1  # five messages, one frame
+        got = [b.recv() for _ in range(5)]
+        assert [m.payload["i"] for m in got] == list(range(5))
+        assert b.recv() is None
+
+    def test_flush_empty_outbox_is_noop(self):
+        _ta, tb, a, _b = self.pair()
+        assert a.flush()
+        assert tb.pending() == 0
+
+    def test_malformed_frame_does_not_stall_recv(self):
+        """A bad frame ahead of good ones is skipped in the SAME recv call:
+        the old behavior returned None and left the good frames stranded
+        until the next poll, stalling the rank."""
+        ta, _tb, a, b = self.pair()
+        ta.send_frame(b"garbage that is not a frame")
+        for i in range(3):
+            a.queue(0, MessageTag.STATUS, {"i": i})
+        a.flush()
+        msg = b.recv()
+        assert msg is not None and msg.payload == {"i": 0}
+        assert b.decode_errors == 1
+        assert [b.recv().payload["i"] for _ in range(2)] == [1, 2]
+
+    def test_corrupt_batch_loses_all_its_messages(self):
+        ta, _tb, a, b = self.pair()
+        for i in range(4):
+            a.queue(0, MessageTag.STATUS, {"i": i})
+        a.flush()
+        frame = ta._peer._inbox.pop()  # intercept the one BATCH frame
+        ta.send_frame(corrupt_frame(frame, "corrupt"))
+        a.send(0, MessageTag.TERMINATED, {"rank": 1})
+        msg = b.recv()
+        assert msg is not None and msg.tag is MessageTag.TERMINATED
+        assert b.decode_errors == 1
+
+
+class TestIncumbentDebounce:
+    """Direct LC-level pin of the debounce semantics: improvements are
+    ACCEPTED immediately (the audited incumbent stream stays monotone)
+    but the rebroadcast inside the window is held, and only the best
+    value flushes once the window elapses."""
+
+    def _lc(self, **cfg):
+        class _NullPlugins(UserPlugins):
+            base_solver_name = "Null"
+
+        lc = LoadCoordinator(
+            "instance", _NullPlugins(), ParamSet(),
+            UGConfig(time_limit=1e9, **cfg), 2,
+        )
+        sent: list[tuple[int, MessageTag, dict]] = []
+
+        def send(dst, tag, payload):
+            sent.append((dst, tag, payload))
+
+        lc.start(send, 0.0)
+        return lc, sent, send
+
+    @staticmethod
+    def _solution(value: float) -> Message:
+        return Message(MessageTag.SOLUTION_FOUND, 1, 0,
+                       {"solution": ParaSolution(value)}, seq=0)
+
+    @staticmethod
+    def _incumbent_values(sent) -> list[float]:
+        return [p["value"] for _d, t, p in sent if t is MessageTag.INCUMBENT]
+
+    def test_improvements_inside_window_flush_once_at_best(self):
+        lc, sent, send = self._lc(net_incumbent_debounce=1.0)
+        lc.handle_message(self._solution(10.0), send, 0.1)
+        assert self._incumbent_values(sent) == [10.0]  # first one ships now
+        sent.clear()
+
+        lc.handle_message(self._solution(8.0), send, 0.2)
+        lc.handle_message(self._solution(7.0), send, 0.3)
+        # accepted immediately (monotone incumbent), broadcasts held
+        assert lc.incumbent.value == 7.0
+        assert lc.stats.incumbent_broadcasts_deferred == 2
+        assert self._incumbent_values(sent) == []
+
+        lc.on_tick(send, 0.9)  # still inside the window: nothing flushes
+        assert self._incumbent_values(sent) == []
+        lc.on_tick(send, 1.2)  # window over: one flush, best value only
+        assert self._incumbent_values(sent) == [7.0]
+        lc.on_tick(send, 2.5)  # nothing pending: no re-broadcast
+        assert self._incumbent_values(sent) == [7.0]
+
+    def test_zero_debounce_broadcasts_every_improvement(self):
+        lc, sent, send = self._lc(net_incumbent_debounce=0.0)
+        lc.handle_message(self._solution(10.0), send, 0.1)
+        lc.handle_message(self._solution(8.0), send, 0.100001)
+        assert self._incumbent_values(sent) == [10.0, 8.0]
+        assert lc.stats.incumbent_broadcasts_deferred == 0
+
+
+@pytest.fixture(scope="module")
+def hc4():
+    return hypercube_instance(4, perturbed=False, seed=1)
+
+
+@pytest.fixture(scope="module")
+def hc4_sim(hc4):
+    return ug(hc4.copy(), SteinerUserPlugins(), n_solvers=3, comm="sim",
+              config=UGConfig(**STP_CFG)).run()
+
+
+BATCH_CFG = dict(net_batch_nodes=4, net_incumbent_debounce=0.02, **STP_CFG)
+
+
+class TestBatchedLoopback:
+    def test_matches_sim_objective_with_batching_on(self, hc4, hc4_sim):
+        res = ug(hc4.copy(), SteinerUserPlugins(), n_solvers=3, comm="loopback",
+                 config=UGConfig(trace_enabled=True, **BATCH_CFG)).run()
+        assert res.solved and res.objective == hc4_sim.objective
+        # a BATCH envelope only forms when a flush seam holds >=2 messages
+        # (transfers already coalesce into one message), so the counter may
+        # legitimately be zero here — but it must stay consistent
+        assert res.stats.net_msgs_coalesced >= 2 * res.stats.net_batches_sent
+        assert res.stats.net_decode_errors == 0
+        check_ug_steiner_result(hc4, res).raise_if_failed()
+        audit_ug_run(res).raise_if_failed()
+
+    def test_bit_identical_replay_under_frame_faults(self, hc4):
+        """Batching + debounce must not leak nondeterminism: two runs under
+        the same FrameFault plan produce byte-identical traces and wire
+        counters."""
+        plan = FaultPlan(frame_faults=(FrameFault(src=1, action="corrupt", count=1),
+                                       FrameFault(src=2, action="drop", count=1)))
+        runs = [
+            ug(hc4.copy(), SteinerUserPlugins(), n_solvers=3, comm="loopback",
+               config=UGConfig(heartbeat_timeout=0.5, trace_enabled=True,
+                               fault_plan=plan, **BATCH_CFG)).run()
+            for _ in range(2)
+        ]
+        assert runs[0].objective == runs[1].objective
+        assert runs[0].stats.net_frames_sent == runs[1].stats.net_frames_sent
+        assert runs[0].stats.net_bytes_sent == runs[1].stats.net_bytes_sent
+        assert runs[0].stats.net_decode_errors == runs[1].stats.net_decode_errors
+        assert runs[0].stats.faults_injected >= 1
+        t0 = [e.to_json() for e in runs[0].trace.events()]
+        t1 = [e.to_json() for e in runs[1].trace.events()]
+        assert t0 == t1
