@@ -1,0 +1,128 @@
+"""Serving-layer benchmark: admission + scheduling overhead and cache wins.
+
+Three measurements on one in-process daemon (SimEngine workers, so the
+numbers isolate the *serving* overhead from solver speed):
+
+* **throughput** — wall time to push a batch of small solve jobs through
+  submit -> schedule -> solve -> certify -> journal, vs solving the same
+  instances directly through ``ug(...)``; the delta is the end-to-end
+  price of admission control, journaling and certification;
+* **cache** — latency of a repeat submission served from the verified
+  fingerprint cache vs its original cold solve;
+* **shedding** — cost of a rejected submission under saturation (the
+  daemon's 429 path must be cheap: rejections are the overload valve).
+
+Emits ``BENCH_serve.json`` for CI trend tracking.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.common import emit_bench_json, print_table
+from repro.apps.stp_plugins import SteinerUserPlugins
+from repro.serve import JobRequest, QueueFullError, ServeClient, ServeConfig, daemon_in_thread
+from repro.steiner.instances import grid_instance
+from repro.ug import ug
+
+N_JOBS = 8
+
+
+def payload(seed: int) -> dict:
+    return {"generator": "grid", "params": {"rows": 3, "cols": 4, "n_terminals": 5, "seed": seed}}
+
+
+def bench_direct() -> float:
+    # the solver memoizes per-instance work, so the first solve of each
+    # instance pays a one-time cost; warm every timed instance first so
+    # both the direct and the served pass measure warm solves and the
+    # delta isolates the serving overhead
+    for seed in range(N_JOBS):
+        params = payload(seed)["params"]
+        ug(grid_instance(**params), SteinerUserPlugins(), n_solvers=1, comm="sim").run()
+    t0 = time.perf_counter()
+    for seed in range(N_JOBS):
+        params = payload(seed)["params"]
+        ug(grid_instance(**params), SteinerUserPlugins(), n_solvers=1, comm="sim").run()
+    return time.perf_counter() - t0
+
+
+def main() -> None:
+    journal = Path(tempfile.mkdtemp(prefix="repro-bench-serve-")) / "journal.jsonl"
+    direct = bench_direct()
+    rows = []
+    config = ServeConfig(journal_path=str(journal), slots=2, max_queue_depth=N_JOBS + 2)
+    with daemon_in_thread(config) as daemon:
+        client = ServeClient(port=daemon.port)
+
+        # -- throughput through the full serving stack ----------------------
+        t0 = time.perf_counter()
+        views = [client.submit(JobRequest(kind="stp", payload=payload(s))) for s in range(N_JOBS)]
+        for view in views:
+            client.wait(view["job_id"], timeout=300)
+        served = time.perf_counter() - t0
+        rows.append(["direct ug() x%d" % N_JOBS, f"{direct:.3f}s", "-"])
+        rows.append(["served x%d" % N_JOBS, f"{served:.3f}s",
+                     f"{(served - direct) / N_JOBS * 1e3:.1f} ms/job overhead"])
+
+        # -- cache hit latency ----------------------------------------------
+        t0 = time.perf_counter()
+        hit = client.submit(JobRequest(kind="stp", payload=payload(0)))
+        cache_latency = time.perf_counter() - t0
+        assert hit["outcome"]["from_cache"]
+        rows.append(["cache hit", f"{cache_latency * 1e3:.2f} ms", "verified on insert"])
+
+        # -- load-shedding cost ---------------------------------------------
+        # saturate both slots with ~2s jobs and fill the queue, then time
+        # the 429 path: rejections must stay cheap under overload
+        slow = {"generator": "hypercube", "params": {"dim": 6, "perturbed": False}}
+        blockers = [
+            client.submit(JobRequest(kind="stp", payload=slow, node_limit=20, seed=s))
+            for s in (0, 1)
+        ]
+        filled = 0
+        for seed in range(200, 200 + config.max_queue_depth + 2):
+            try:
+                client.submit(JobRequest(kind="stp", payload=payload(seed)))
+                filled += 1
+            except QueueFullError:
+                break
+        rejected, t0 = 0, time.perf_counter()
+        for seed in range(100, 160):
+            try:
+                client.submit(JobRequest(kind="stp", payload=payload(seed)))
+            except QueueFullError:
+                rejected += 1
+        shed = time.perf_counter() - t0
+        rows.append(["shed 60 submits", f"{shed:.3f}s",
+                     f"{rejected} rejected ({shed / 60 * 1e3:.2f} ms each)"])
+        for view in blockers:
+            client.wait(view["job_id"], timeout=300)
+
+        stats = client.stats()
+        client.close()
+
+    print_table("serve overhead (SimEngine workers)", ["measurement", "wall", "notes"], rows)
+    emit_bench_json(
+        "serve",
+        {
+            "n_jobs": N_JOBS,
+            "direct_seconds": direct,
+            "served_seconds": served,
+            "overhead_ms_per_job": (served - direct) / N_JOBS * 1e3,
+            "cache_hit_ms": cache_latency * 1e3,
+            "shed_rejected": rejected,
+            "serve_stats": stats["serve"],
+        },
+    )
+
+
+def test_bench_serve():
+    """Pytest entry point so CI runs this under the bench job."""
+    main()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quickstart: solve jobs through the repro.serve daemon.
+
+Starts an in-process serve daemon, submits two Steiner jobs, and shows
+the two contract outcomes side by side:
+
+* an easy grid instance solves to optimality (``SUCCEEDED``);
+* a hard unit-cost hypercube under a 2-node budget hits its limit and
+  *degrades gracefully* — the daemon serves the best incumbent plus the
+  dual bound with a certificate-checked gap (``DEGRADED``), never a bare
+  timeout error.
+
+Also demonstrated: the verified result cache (an identical repeat
+request is answered instantly) and the cancel contract (cancelling a
+finished job is a no-op).
+
+Run:  python examples/serve_quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.serve import JobRequest, ServeClient, ServeConfig, daemon_in_thread
+
+
+def main() -> None:
+    journal = Path(tempfile.mkdtemp(prefix="repro-serve-")) / "journal.jsonl"
+    config = ServeConfig(journal_path=str(journal), engine="sim", slots=2)
+    with daemon_in_thread(config) as daemon:
+        client = ServeClient(port=daemon.port)
+        print(f"daemon up on 127.0.0.1:{daemon.port}, journal at {journal}")
+
+        # --- job 1: an easy instance, solved to proven optimality ---------
+        easy = JobRequest(
+            kind="stp",
+            payload={"generator": "grid",
+                     "params": {"rows": 3, "cols": 4, "n_terminals": 5, "seed": 1}},
+        )
+        # --- job 2: a hard hypercube under a 2-node budget -----------------
+        # the deadline contract: at the limit the incumbent + dual bound
+        # are served with a certificate-checked gap, not an error
+        hard = JobRequest(
+            kind="stp",
+            payload={"generator": "hypercube", "params": {"dim": 6, "perturbed": False}},
+            node_limit=2,
+        )
+        views = [client.submit(easy), client.submit(hard)]
+        for view in views:
+            final = client.wait(view["job_id"], timeout=120)
+            out = final["outcome"]
+            print(
+                f"job {final['job_id']}: {final['state'].upper()} "
+                f"objective={out['objective']:g} bound={out['bound']:g} "
+                f"gap={out['gap']:.2%} certified={out['certified']}"
+            )
+
+        assert client.status(views[0]["job_id"])["state"] == "succeeded"
+        degraded = client.status(views[1]["job_id"])
+        assert degraded["state"] == "degraded", degraded
+        assert degraded["outcome"]["certified"], "a served gap must carry a passing certificate"
+
+        # --- repeat query: served from the verified cache ------------------
+        repeat = client.submit(easy)
+        assert repeat["outcome"]["from_cache"], repeat
+        print(f"repeat submit: {repeat['state']} instantly ({repeat['outcome']['detail']})")
+
+        # --- cancel after completion is a harmless no-op -------------------
+        cancelled = client.cancel(views[0]["job_id"])
+        assert cancelled.get("noop"), cancelled
+        print(f"cancel finished job: {cancelled['detail']}")
+
+        stats = client.stats()["serve"]
+        print(
+            f"daemon served {stats['jobs_succeeded']} succeeded / "
+            f"{stats['jobs_degraded']} degraded, cache hits {stats['cache_hits']}"
+        )
+        client.close()
+
+
+if __name__ == "__main__":
+    main()

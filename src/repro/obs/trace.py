@@ -63,7 +63,7 @@ class TraceEvent:
 class Tracer:
     """Ring-buffered event collector shared by one engine run."""
 
-    __slots__ = ("enabled", "capacity", "dropped", "_events", "_lock")
+    __slots__ = ("enabled", "capacity", "dropped", "appended", "_events", "_lock")
 
     def __init__(self, enabled: bool = True, capacity: int = 1 << 16) -> None:
         if capacity < 1:
@@ -71,6 +71,9 @@ class Tracer:
         self.enabled = enabled
         self.capacity = capacity
         self.dropped = 0
+        #: total events ever appended (monotone; ``appended - dropped`` of
+        #: them are still buffered) — the cursor space of :meth:`events_since`
+        self.appended = 0
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self._lock = threading.Lock()
 
@@ -81,6 +84,7 @@ class Tracer:
         with self._lock:
             if len(self._events) == self.capacity:
                 self.dropped += 1
+            self.appended += 1
             self._events.append(TraceEvent(float(t), kind, rank, data))
 
     def __len__(self) -> int:
@@ -99,10 +103,30 @@ class Tracer:
             out = [e for e in out if e.rank == rank]
         return out
 
+    def events_since(self, cursor: int) -> tuple[int, int, list[TraceEvent]]:
+        """Incremental read for live streaming: events appended after ``cursor``.
+
+        ``cursor`` counts total appended events (start at 0; pass the
+        returned cursor back on the next call).  Returns ``(new_cursor,
+        missed, events)`` where ``missed`` is how many events between the
+        cursor and the returned batch were already evicted by the ring
+        buffer — a consumer that polls slower than the producer emits sees
+        the loss explicitly instead of silently skipping.
+        """
+        with self._lock:
+            total = self.appended
+            if cursor >= total:
+                return total, 0, []
+            buffered = list(self._events)
+            first_buffered = total - len(buffered)
+            missed = max(0, first_buffered - cursor)
+            return total, missed, buffered[max(0, cursor - first_buffered):]
+
     def clear(self) -> None:
         with self._lock:
             self._events.clear()
             self.dropped = 0
+            self.appended = 0
 
     # -- export ---------------------------------------------------------------
 

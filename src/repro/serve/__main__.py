@@ -1,0 +1,182 @@
+"""CLI for the serving layer: ``python -m repro.serve <command>``.
+
+Commands::
+
+    daemon   start a daemon (prints "PORT <n>" once bound; --port-file
+             writes the port for scripts that spawn the daemon)
+    submit   submit one job and print its public view (or --wait for
+             the terminal view)
+    status   print a job's public view
+    cancel   cancel a job (a no-op when it already finished)
+    stream   print a job's live trace events as JSON lines
+    stats    print the daemon's serve statistics
+
+Admission rejections exit with code 75 (EX_TEMPFAIL) and print the
+``retry_after`` hint — shell scripts can back off and retry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.jobs import AdmissionError, ServeError
+from repro.serve.scheduler import TenantQuota
+
+EX_TEMPFAIL = 75
+
+
+def _client(args: argparse.Namespace) -> ServeClient:
+    port = args.port
+    if port is None and args.port_file:
+        port = int(Path(args.port_file).read_text().split()[0])
+    if port is None:
+        raise SystemExit("need --port or --port-file")
+    return ServeClient(host=args.host, port=port, timeout=args.timeout)
+
+
+def _print(obj: object) -> None:
+    print(json.dumps(obj, indent=2, sort_keys=True))
+
+
+def cmd_daemon(args: argparse.Namespace) -> int:
+    config = ServeConfig(
+        journal_path=args.journal,
+        engine=args.engine,
+        slots=args.slots,
+        max_queue_depth=args.max_queue_depth,
+        default_deadline=args.default_deadline,
+        default_quota=TenantQuota(
+            max_active=args.quota_active, max_queued=args.quota_queued
+        ),
+        host=args.host,
+        port=args.port or 0,
+    )
+    daemon = ServeDaemon(config)
+
+    async def _main() -> None:
+        await daemon.start()
+        print(f"PORT {daemon.port}", flush=True)
+        if args.port_file:
+            Path(args.port_file).write_text(f"{daemon.port}\n")
+        assert daemon._server is not None
+        async with daemon._server:
+            try:
+                await daemon._server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+        # the shutdown op spawns daemon.stop(); await the full drain so
+        # asyncio.run's cleanup never cancels it mid-journal-close
+        await daemon.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    if args.request_file:
+        body = json.loads(Path(args.request_file).read_text())
+    elif args.request:
+        body = json.loads(args.request)
+    else:
+        raise SystemExit("need --request JSON or --request-file")
+    with _client(args) as client:
+        view = client.submit(body)
+        if args.wait and view.get("state") not in ("succeeded", "degraded", "failed", "cancelled"):
+            view = client.wait(view["job_id"], timeout=args.timeout)
+        _print(view)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        _print(client.status(args.job_id))
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        _print(client.cancel(args.job_id))
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        for item in client.stream(args.job_id):
+            print(json.dumps(item, sort_keys=True), flush=True)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        _print(client.stats())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="python -m repro.serve", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    d = sub.add_parser("daemon", help="run a serve daemon")
+    d.add_argument("--journal", required=True, help="journal file path (durable state)")
+    d.add_argument("--engine", default="sim", choices=["sim", "threads", "process", "loopback"])
+    d.add_argument("--slots", type=int, default=4)
+    d.add_argument("--max-queue-depth", type=int, default=64)
+    d.add_argument("--default-deadline", type=float, default=30.0)
+    d.add_argument("--quota-active", type=int, default=8)
+    d.add_argument("--quota-queued", type=int, default=64)
+    d.add_argument("--host", default="127.0.0.1")
+    d.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    d.add_argument("--port-file", default=None, help="write the bound port here")
+    d.set_defaults(fn=cmd_daemon)
+
+    def client_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=None)
+        p.add_argument("--port-file", default=None)
+        p.add_argument("--timeout", type=float, default=60.0)
+
+    s = sub.add_parser("submit", help="submit a job")
+    client_args(s)
+    s.add_argument("--request", default=None, help="request JSON inline")
+    s.add_argument("--request-file", default=None, help="request JSON file")
+    s.add_argument("--wait", action="store_true", help="block until terminal")
+    s.set_defaults(fn=cmd_submit)
+
+    for name, fn in (("status", cmd_status), ("cancel", cmd_cancel), ("stream", cmd_stream)):
+        p = sub.add_parser(name, help=f"{name} a job")
+        client_args(p)
+        p.add_argument("job_id")
+        p.set_defaults(fn=fn)
+
+    st = sub.add_parser("stats", help="daemon statistics")
+    client_args(st)
+    st.set_defaults(fn=cmd_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except AdmissionError as exc:
+        print(
+            json.dumps({"error": exc.code, "message": str(exc), "retry_after": exc.retry_after}),
+            file=sys.stderr,
+        )
+        return EX_TEMPFAIL
+    except ServeError as exc:
+        print(json.dumps({"error": exc.code, "message": str(exc)}), file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

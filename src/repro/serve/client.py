@@ -1,0 +1,156 @@
+"""Synchronous client for the serve daemon (JSON lines over TCP).
+
+The client is deliberately dependency-free and blocking: library users
+call it from scripts and tests; the CLI (``python -m repro.serve``) is a
+thin shell around it.  Wire errors are re-raised as the *same* typed
+exceptions the daemon raised — an admission rejection arrives as a
+:class:`~repro.serve.jobs.QueueFullError` /
+:class:`~repro.serve.jobs.QuotaExceededError` carrying ``retry_after``,
+so callers implement backoff against types, not string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Callable, Iterator
+
+from repro.serve.jobs import JobRequest, ServeError, TERMINAL_STATES, error_from_code
+
+
+class ServeClient:
+    """One TCP connection to a daemon; reconnects lazily per call batch."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0) -> None:
+        if port <= 0:
+            raise ValueError("client needs the daemon's bound port")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._fh: Any = None
+
+    # -- connection -------------------------------------------------------------
+
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        self._sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        self._fh = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- request/response -------------------------------------------------------
+
+    def _roundtrip(self, req: dict[str, Any]) -> dict[str, Any]:
+        self._connect()
+        try:
+            self._fh.write(json.dumps(req).encode() + b"\n")
+            self._fh.flush()
+            line = self._fh.readline()
+        except OSError:
+            self.close()
+            raise ServeError("connection to serve daemon lost") from None
+        if not line:
+            self.close()
+            raise ServeError("serve daemon closed the connection")
+        return self._check(json.loads(line))
+
+    @staticmethod
+    def _check(resp: dict[str, Any]) -> dict[str, Any]:
+        if resp.get("ok", False):
+            return resp
+        raise error_from_code(
+            str(resp.get("error", "serve_error")),
+            str(resp.get("message", "serve error")),
+            resp.get("retry_after"),
+        )
+
+    # -- operations -------------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self._roundtrip({"op": "ping"})
+
+    def submit(self, request: JobRequest | dict[str, Any]) -> dict[str, Any]:
+        """Submit one job; returns its public view (``job_id``, ``state``).
+
+        Raises the typed admission errors on rejection; a cache hit
+        returns an already-terminal view with the outcome attached.
+        """
+        body = request.to_json() if isinstance(request, JobRequest) else dict(request)
+        return self._roundtrip({"op": "submit", "request": body})
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._roundtrip({"op": "status", "job_id": job_id})
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a job; cancelling an already-finished job is a no-op."""
+        return self._roundtrip({"op": "cancel", "job_id": job_id})
+
+    def stats(self) -> dict[str, Any]:
+        return self._roundtrip({"op": "stats"})
+
+    def shutdown(self) -> dict[str, Any]:
+        resp = self._roundtrip({"op": "shutdown"})
+        self.close()
+        return resp
+
+    def stream(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Yield the job's live trace events; the final item is the
+        ``stream_end`` object carrying the terminal public view."""
+        self._connect()
+        try:
+            self._fh.write(json.dumps({"op": "stream", "job_id": job_id}).encode() + b"\n")
+            self._fh.flush()
+            header = self._fh.readline()
+            if not header:
+                raise ServeError("serve daemon closed the connection")
+            self._check(json.loads(header))
+            while True:
+                line = self._fh.readline()
+                if not line:
+                    raise ServeError("stream ended without a terminal record")
+                obj = json.loads(line)
+                yield obj
+                if obj.get("stream_end"):
+                    return
+        finally:
+            # the stream owns the connection's framing; drop it after use
+            self.close()
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> dict[str, Any]:
+        """Poll ``status`` until the job is terminal; returns the view."""
+        deadline = clock() + timeout
+        while True:
+            view = self.status(job_id)
+            if view.get("state") in TERMINAL_STATES:
+                return view
+            if clock() >= deadline:
+                raise TimeoutError(f"job {job_id} not terminal within {timeout}s")
+            sleep(poll)

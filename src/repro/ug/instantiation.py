@@ -49,6 +49,17 @@ class UGResult:
     def objective(self) -> float:
         return float("inf") if self.incumbent is None else self.incumbent.value
 
+    @property
+    def trace_dropped(self) -> int:
+        """Events evicted by the trace ring buffer during this run.
+
+        Non-zero means the trace is partial: the ``repro.verify`` tree
+        auditors will refuse to certify it (raise
+        ``UGConfig.trace_capacity`` to capture the full stream).  Also
+        mirrored on ``stats.trace_events_dropped``.
+        """
+        return 0 if self.trace is None else self.trace.dropped
+
 
 @dataclass
 class UGSolver:
@@ -77,8 +88,15 @@ class UGSolver:
         self,
         restart_from: str | None = None,
         initial_incumbent: ParaSolution | None = None,
+        tracer: Tracer | None = None,
     ) -> UGResult:
         """Execute the run; optionally restart from a checkpoint file.
+
+        ``tracer`` injects a pre-built :class:`~repro.obs.trace.Tracer`
+        instead of letting the engine construct one from the config —
+        callers that need to observe the event stream *while the run is
+        in flight* (the ``repro.serve`` per-job progress streams) hold a
+        reference and poll ``Tracer.events_since``.
 
         Restarting re-applies the LoadCoordinator-level presolve (a fresh
         LoadCoordinator is built) and seeds the pool with the checkpoint's
@@ -140,23 +158,27 @@ class UGSolver:
         }
         engine: Any
         if self.comm == "sim":
-            engine = SimEngine(lc, solvers, self.config, wall_clock_limit=self.wall_clock_limit)
+            engine = SimEngine(
+                lc, solvers, self.config, wall_clock_limit=self.wall_clock_limit, tracer=tracer
+            )
         elif self.comm == "threads":
-            engine = ThreadEngine(lc, solvers, self.config)
+            engine = ThreadEngine(lc, solvers, self.config, tracer=tracer)
         elif self.comm == "process":
             if self.config.cluster_plan is not None:
                 from repro.ug.cluster import ClusterSupervisor
 
-                engine = ClusterSupervisor(lc, solvers, self.config)
+                engine = ClusterSupervisor(lc, solvers, self.config, tracer=tracer)
             else:
                 from repro.ug.net.process_engine import ProcessEngine
 
-                engine = ProcessEngine(lc, solvers, self.config)
+                engine = ProcessEngine(lc, solvers, self.config, tracer=tracer)
         else:  # "loopback"
             from repro.ug.net.loopback_engine import LoopbackNetEngine
 
-            engine = LoopbackNetEngine(lc, solvers, self.config)
+            engine = LoopbackNetEngine(lc, solvers, self.config, tracer=tracer)
         engine.run()
+        if engine.tracer is not None and engine.tracer.dropped:
+            lc.metrics.set("trace_events_dropped", engine.tracer.dropped)
 
         solved = (
             lc.incumbent is not None

@@ -70,6 +70,11 @@ class UGStatistics:
     net_bytes_received: int = 0
     net_decode_errors: int = 0  # malformed frames rejected by the codec
     net_queue_peak: int = 0  # high-water mark of a bounded outbound queue
+    # observability: events evicted by the trace ring buffer during the
+    # run (Tracer.dropped at the end of the run).  Non-zero voids the
+    # trace-replay audits — repro.verify refuses to certify from a
+    # partial stream — and flags that trace_capacity was too small
+    trace_events_dropped: int = 0
     net_batches_sent: int = 0  # coalesced BATCH frames shipped
     net_msgs_coalesced: int = 0  # messages that rode inside BATCH frames
     incumbent_broadcasts_deferred: int = 0  # improvements held by the debounce

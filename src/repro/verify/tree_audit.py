@@ -56,8 +56,14 @@ def audit_cip_trace(
     if dropped is not None:
         trace_dropped = dropped
     report = CheckReport(subject="cip-tree" if rank is None else f"cip-tree[rank {rank}]")
-    if not report.require("trace_complete", trace_dropped == 0,
-                          f"{trace_dropped} events dropped by the ring buffer; audit void"):
+    if not report.require(
+        "trace_complete",
+        trace_dropped == 0,
+        f"ring buffer overflowed: {trace_dropped} events dropped (Tracer.dropped="
+        f"{trace_dropped}, mirrored on UGResult.trace_dropped / "
+        f"stats.trace_events_dropped); invariants cannot be certified from a "
+        f"partial stream — raise UGConfig.trace_capacity; audit void",
+    ):
         return report
     if rank is not None:
         events = [e for e in events if e.rank == rank]
@@ -192,8 +198,13 @@ def audit_ug_run(result: Any, *, tol: float = 1e-6) -> CheckReport:
     trace = result.trace
     if trace is None or (not trace.enabled and len(trace) == 0):
         return report.mark_skipped("run was not traced") if not report.checks else report
-    if not report.require("trace_complete", trace.dropped == 0,
-                          f"{trace.dropped} events dropped; accounting audit void"):
+    if not report.require(
+        "trace_complete",
+        trace.dropped == 0,
+        f"ring buffer overflowed: {trace.dropped} events dropped (Tracer.dropped="
+        f"{trace.dropped}, mirrored on UGResult.trace_dropped); raise "
+        f"UGConfig.trace_capacity; accounting audit void",
+    ):
         return report
     events = trace.events()
 

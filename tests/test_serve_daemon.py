@@ -1,0 +1,313 @@
+"""Daemon end-to-end: contracts over the wire (one in-process daemon per test).
+
+Covers the serving contracts the issue pins down: cancel racing
+completion is a no-op, quota exhaustion is a typed rejection, a
+saturated fleet sheds load instead of queueing unboundedly, deadline
+expiry serves an incumbent with a certified gap, and an unverifiable
+answer is reported FAILED — never silently served.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.serve import (
+    JobRequest,
+    QueueFullError,
+    QuotaExceededError,
+    ServeClient,
+    ServeConfig,
+    TenantQuota,
+    UnknownJobError,
+    daemon_in_thread,
+)
+from repro.serve.jobs import InvalidJobError
+
+pytestmark = pytest.mark.fast
+
+EASY = {"generator": "grid", "params": {"rows": 2, "cols": 3, "n_terminals": 3, "seed": 5}}
+HARD = {"generator": "hypercube", "params": {"dim": 6, "perturbed": False}}
+
+
+def grid_payload(seed):
+    return {"generator": "grid", "params": {"rows": 2, "cols": 3, "n_terminals": 3, "seed": seed}}
+
+
+def config(tmp_path, **kw):
+    kw.setdefault("slots", 2)
+    return ServeConfig(journal_path=str(tmp_path / "journal.jsonl"), **kw)
+
+
+def stp(payload=EASY, **kw):
+    return JobRequest(kind="stp", payload=payload, **kw)
+
+
+def test_submit_solve_and_status(tmp_path):
+    with daemon_in_thread(config(tmp_path)) as daemon:
+        with ServeClient(port=daemon.port) as client:
+            view = client.submit(stp())
+            assert view["state"] == "queued"
+            final = client.wait(view["job_id"], timeout=60)
+            out = final["outcome"]
+            assert final["state"] == "succeeded"
+            assert out["certified"] and out["solved"]
+            assert out["gap"] == 0.0
+            assert out["checks"]["failed"] == 0
+
+
+def test_unknown_job_and_invalid_request_are_typed(tmp_path):
+    with daemon_in_thread(config(tmp_path)) as daemon:
+        with ServeClient(port=daemon.port) as client:
+            with pytest.raises(UnknownJobError):
+                client.status("deadbeef")
+            with pytest.raises(InvalidJobError):
+                client.submit({"kind": "stp", "payload": {"generator": "nope"}})
+            with pytest.raises(InvalidJobError):
+                client.submit({"kind": "lp", "payload": {"generator": "grid"}})
+
+
+def test_cancel_racing_completion_is_noop(tmp_path):
+    """Cancelling after the job finished must not disturb the outcome."""
+    with daemon_in_thread(config(tmp_path)) as daemon:
+        with ServeClient(port=daemon.port) as client:
+            view = client.submit(stp())
+            final = client.wait(view["job_id"], timeout=60)
+            assert final["state"] == "succeeded"
+            cancelled = client.cancel(view["job_id"])
+            assert cancelled["noop"] is True
+            assert cancelled["state"] == "succeeded"  # state untouched
+            # and the outcome is still served
+            assert client.status(view["job_id"])["outcome"]["certified"]
+
+
+def test_cancel_running_job_discards_result(tmp_path):
+    release = threading.Event()
+    with daemon_in_thread(config(tmp_path)) as daemon:
+        orig = daemon._solve
+
+        def gated(record, budget):
+            release.wait(timeout=30)
+            return orig(record, budget)
+
+        daemon._solve = gated
+        with ServeClient(port=daemon.port) as client:
+            view = client.submit(stp())
+            deadline = time.monotonic() + 10
+            while client.status(view["job_id"])["state"] != "running":
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.02)
+            resp = client.cancel(view["job_id"])
+            assert resp.get("cancel_requested") is True
+            release.set()
+            final = client.wait(view["job_id"], timeout=30)
+            assert final["state"] == "cancelled"
+            assert "discarded" in final["outcome"]["detail"]
+
+
+def test_cancel_queued_job(tmp_path):
+    release = threading.Event()
+    with daemon_in_thread(config(tmp_path, slots=1)) as daemon:
+        orig = daemon._solve
+
+        def gated(record, budget):
+            release.wait(timeout=30)
+            return orig(record, budget)
+
+        daemon._solve = gated
+        with ServeClient(port=daemon.port) as client:
+            blocker = client.submit(stp())
+            queued = client.submit(stp(grid_payload(seed=8)))
+            resp = client.cancel(queued["job_id"])
+            assert resp["state"] == "cancelled"
+            release.set()
+            final = client.wait(blocker["job_id"], timeout=60)
+            assert final["state"] == "succeeded"
+            # the cancelled job was never started
+            view = client.status(queued["job_id"])
+            assert view["state"] == "cancelled" and view["attempts"] == 0
+
+
+def test_quota_exhaustion_returns_typed_rejection(tmp_path):
+    cfg = config(
+        tmp_path,
+        slots=1,
+        quotas={"small": TenantQuota(max_active=1, max_queued=1)},
+    )
+    release = threading.Event()
+    with daemon_in_thread(cfg) as daemon:
+        orig = daemon._solve
+
+        def gated(record, budget):
+            release.wait(timeout=30)
+            return orig(record, budget)
+
+        daemon._solve = gated
+        with ServeClient(port=daemon.port) as client:
+            first = client.submit(stp(tenant="small"))
+            deadline = time.monotonic() + 10
+            while client.status(first["job_id"])["state"] != "running":
+                assert time.monotonic() < deadline, "first job never started"
+                time.sleep(0.02)
+            client.submit(stp(grid_payload(seed=7), tenant="small"))  # fills max_queued=1
+            with pytest.raises(QuotaExceededError) as exc:
+                client.submit(stp(grid_payload(seed=9), tenant="small"))
+            assert exc.value.code == "quota_exceeded"
+            assert exc.value.retry_after > 0
+            # an unrelated tenant is still admitted
+            other = client.submit(stp(tenant="other", seed=3))
+            assert other["state"] == "queued"
+            release.set()
+            client.wait(first["job_id"], timeout=60)
+
+
+def test_saturated_fleet_sheds_load_with_bounded_queue(tmp_path):
+    cfg = config(tmp_path, slots=1, max_queue_depth=3)
+    release = threading.Event()
+    with daemon_in_thread(cfg) as daemon:
+        orig = daemon._solve
+
+        def gated(record, budget):
+            release.wait(timeout=60)
+            return orig(record, budget)
+
+        daemon._solve = gated
+        with ServeClient(port=daemon.port) as client:
+            first = client.submit(stp(grid_payload(seed=0)))
+            deadline = time.monotonic() + 10
+            while client.status(first["job_id"])["state"] != "running":
+                assert time.monotonic() < deadline, "first job never started"
+                time.sleep(0.02)
+            accepted = [first] + [
+                client.submit(stp(grid_payload(seed=i))) for i in range(1, 4)
+            ]  # 1 running + 3 queued = the whole bounded queue
+            rejections = 0
+            for i in range(4, 10):
+                with pytest.raises(QueueFullError) as exc:
+                    client.submit(stp(grid_payload(seed=i)))
+                assert exc.value.retry_after > 0
+                rejections += 1
+            assert rejections == 6
+            stats = client.stats()
+            assert stats["queue_depth"] <= 3  # never unbounded
+            assert stats["serve"]["jobs_rejected_queue_full"] == 6
+            release.set()
+            for view in accepted:
+                final = client.wait(view["job_id"], timeout=120)
+                assert final["state"] == "succeeded"
+
+
+def test_deadline_expiry_serves_certified_gap(tmp_path):
+    """The graceful-degradation contract: incumbent + dual bound + gap."""
+    with daemon_in_thread(config(tmp_path)) as daemon:
+        with ServeClient(port=daemon.port) as client:
+            view = client.submit(stp(HARD, node_limit=2))
+            final = client.wait(view["job_id"], timeout=120)
+            out = final["outcome"]
+            assert final["state"] == "degraded"
+            assert out["certified"] is True
+            assert not out["solved"]
+            assert out["bound"] <= out["objective"]
+            assert 0 < out["gap"] < 1
+            assert "certified gap" in out["detail"]
+
+
+def test_unverifiable_answer_is_failed_never_served(tmp_path):
+    """A solver returning garbage must surface as FAILED with the reason."""
+    with daemon_in_thread(config(tmp_path)) as daemon:
+        def lying_solve(record, budget):
+            # claims optimality with a solution that is not a tree and a
+            # fabricated objective — the certificate check must refuse it
+            return SimpleNamespace(
+                incumbent=SimpleNamespace(value=1.0, payload={"edges": [0]}),
+                dual_bound=1.0,
+                solved=True,
+            )
+
+        daemon._solve = lying_solve
+        with ServeClient(port=daemon.port) as client:
+            view = client.submit(stp())
+            final = client.wait(view["job_id"], timeout=30)
+            out = final["outcome"]
+            assert final["state"] == "failed"
+            assert out["certified"] is False
+            assert out["solution_size"] == 0  # the bogus answer is not served
+            assert "refused" in out["detail"]
+            assert client.stats()["serve"]["verify_refusals"] == 1
+            # and nothing was cached
+            assert client.stats()["cache_size"] == 0
+
+
+def test_solver_crash_terminates_job_as_failed(tmp_path):
+    with daemon_in_thread(config(tmp_path)) as daemon:
+        def crashing_solve(record, budget):
+            raise RuntimeError("rank 0 segfaulted")
+
+        daemon._solve = crashing_solve
+        with ServeClient(port=daemon.port) as client:
+            view = client.submit(stp())
+            final = client.wait(view["job_id"], timeout=30)
+            assert final["state"] == "failed"
+            assert "crashed" in final["outcome"]["detail"]
+
+
+def test_cache_hit_serves_instantly_and_is_journaled(tmp_path):
+    cfg = config(tmp_path)
+    with daemon_in_thread(cfg) as daemon:
+        with ServeClient(port=daemon.port) as client:
+            first = client.submit(stp())
+            client.wait(first["job_id"], timeout=60)
+            repeat = client.submit(stp())
+            assert repeat["state"] == "succeeded"
+            assert repeat["outcome"]["from_cache"] is True
+            assert client.stats()["serve"]["cache_hits"] == 1
+            cached_id = repeat["job_id"]
+    # the cache hit is journaled terminal: a restarted daemon still knows it
+    with daemon_in_thread(cfg) as daemon2:
+        with ServeClient(port=daemon2.port) as client:
+            assert client.status(cached_id)["state"] == "succeeded"
+            assert daemon2.stats.jobs_requeued == 0
+
+
+def test_fingerprint_cache_hits_across_request_spellings(tmp_path):
+    """A literal STP text and a generator spec of the same instance hit."""
+    from repro.steiner.instances import grid_instance
+    from repro.steiner.stp_io import write_stp
+
+    graph = grid_instance(**EASY["params"])
+    text = write_stp(graph)
+    with daemon_in_thread(config(tmp_path)) as daemon:
+        with ServeClient(port=daemon.port) as client:
+            first = client.submit(stp())
+            client.wait(first["job_id"], timeout=60)
+            literal = client.submit(stp(payload={"stp": text}))
+            assert literal["outcome"]["from_cache"] is True
+
+
+def test_stream_yields_events_then_terminal_view(tmp_path):
+    with daemon_in_thread(config(tmp_path)) as daemon:
+        with ServeClient(port=daemon.port) as client:
+            view = client.submit(stp())
+            items = list(client.stream(view["job_id"]))
+        assert len(items) >= 2
+        *events, tail = items
+        assert tail["stream_end"] is True
+        assert tail["state"] == "succeeded"
+        assert all("event" in e for e in events)
+        kinds = {e["event"]["kind"] for e in events}
+        assert kinds  # real trace events came through the wire
+
+
+def test_stats_endpoint_shape(tmp_path):
+    with daemon_in_thread(config(tmp_path)) as daemon:
+        with ServeClient(port=daemon.port) as client:
+            view = client.submit(stp())
+            client.wait(view["job_id"], timeout=60)
+            stats = client.stats()
+            assert stats["serve"]["jobs_succeeded"] == 1
+            assert stats["slots"] == {"total": 2, "used": 0}
+            assert "default" in stats["scheduler"]
+            assert stats["job_seconds"]["count"] == 1

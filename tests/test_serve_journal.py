@@ -1,0 +1,151 @@
+"""Journal hardening: CRC records, torn-tail tolerance, idempotent replay."""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.serve.jobs import JobOutcome, JobState
+from repro.serve.journal import (
+    EV_CANCELLED,
+    EV_COMPLETED,
+    EV_STARTED,
+    EV_SUBMITTED,
+    JobJournal,
+    reduce_journal,
+    replay_journal,
+)
+
+pytestmark = pytest.mark.fast
+
+REQ = {"kind": "stp", "payload": {"generator": "grid", "params": {"rows": 2, "cols": 2}}}
+
+
+def outcome_json(state=JobState.SUCCEEDED):
+    return JobOutcome(state=state, objective=3.0, bound=3.0, gap=0.0, solved=True,
+                      certified=True, solution=[0, 1]).to_json()
+
+
+def test_append_replay_roundtrip(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with JobJournal(path) as journal:
+        journal.append(EV_SUBMITTED, "a", {"request": REQ})
+        journal.append(EV_STARTED, "a", {"attempt": 1})
+        journal.append(EV_COMPLETED, "a", {"outcome": outcome_json()})
+    replay = replay_journal(path)
+    assert replay.torn_bytes == 0 and replay.corrupt is None
+    assert [r.event for r in replay.records] == [EV_SUBMITTED, EV_STARTED, EV_COMPLETED]
+    assert [r.seq for r in replay.records] == [0, 1, 2]
+    jobs = reduce_journal(replay.records)
+    assert jobs["a"].terminal and jobs["a"].state == JobState.SUCCEEDED
+    assert jobs["a"].attempts == 1
+    assert jobs["a"].outcome().objective == 3.0
+
+
+def test_missing_file_replays_empty(tmp_path):
+    replay = replay_journal(tmp_path / "never-written.jsonl")
+    assert replay.records == [] and replay.torn_bytes == 0
+
+
+def test_seq_resumes_across_daemon_lives(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with JobJournal(path) as j1:
+        j1.append(EV_SUBMITTED, "a", {"request": REQ})
+        j1.append(EV_STARTED, "a")
+    with JobJournal(path) as j2:
+        seq = j2.append(EV_COMPLETED, "a", {"outcome": outcome_json()})
+    assert seq == 2
+    assert [r.seq for r in replay_journal(path).records] == [0, 1, 2]
+
+
+def test_torn_tail_is_dropped_and_counted(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with JobJournal(path) as journal:
+        journal.append(EV_SUBMITTED, "a", {"request": REQ})
+        journal.append(EV_STARTED, "a")
+    intact = path.read_bytes()
+    # simulate kill -9 mid-write: half a record at the end
+    path.write_bytes(intact + b'{"seq": 2, "event": "comp')
+    replay = replay_journal(path)
+    assert len(replay.records) == 2
+    assert replay.torn_bytes > 0
+    assert replay.corrupt is None  # damage at the tail is the expected crash signature
+
+
+def test_corruption_before_intact_records_is_reported(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with JobJournal(path) as journal:
+        journal.append(EV_SUBMITTED, "a", {"request": REQ})
+        journal.append(EV_STARTED, "a")
+        journal.append(EV_COMPLETED, "a", {"outcome": outcome_json()})
+    lines = path.read_bytes().split(b"\n")
+    lines[1] = lines[1][:10] + b"X" + lines[1][11:]  # bit-rot mid-file
+    path.write_bytes(b"\n".join(lines))
+    replay = replay_journal(path)
+    assert len(replay.records) == 1  # stops at the damaged record
+    assert replay.corrupt is not None and "corrupt" in replay.corrupt
+
+
+def test_crc_guards_field_tampering(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with JobJournal(path) as journal:
+        journal.append(EV_SUBMITTED, "a", {"request": REQ})
+    doc = json.loads(path.read_text())
+    doc["job"] = "b"  # tamper without recomputing the CRC
+    path.write_text(json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n")
+    assert replay_journal(path).records == []
+
+
+def test_crc_is_over_canonical_doc(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with JobJournal(path) as journal:
+        journal.append(EV_STARTED, "a")
+    doc = json.loads(path.read_text())
+    crc = doc.pop("crc32")
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+    assert crc == zlib.crc32(blob)
+
+
+def test_unknown_event_rejected_on_append(tmp_path):
+    with JobJournal(tmp_path / "j.jsonl") as journal:
+        with pytest.raises(ValueError, match="unknown journal event"):
+            journal.append("exploded", "a")
+
+
+def test_reduce_is_idempotent_and_counts_duplicates():
+    from repro.serve.journal import JournalRecord
+
+    records = [
+        JournalRecord(0, EV_SUBMITTED, "a", {"request": REQ}),
+        JournalRecord(1, EV_STARTED, "a"),
+        JournalRecord(2, EV_COMPLETED, "a", {"outcome": outcome_json()}),
+        # a duplicated terminal write (must be ignored, counted)
+        JournalRecord(3, EV_COMPLETED, "a", {"outcome": outcome_json(JobState.FAILED)}),
+        JournalRecord(4, EV_STARTED, "a"),
+    ]
+    jobs = reduce_journal(records)
+    job = jobs["a"]
+    assert job.state == JobState.SUCCEEDED  # the first terminal record wins
+    assert job.duplicate_terminals == 1
+    assert job.attempts == 1  # the post-terminal started is ignored too
+    # replaying the fold twice yields the same end state (idempotency)
+    again = reduce_journal(records)
+    assert again["a"].state == job.state and again["a"].attempts == job.attempts
+
+
+def test_reduce_cancelled_and_running_states():
+    from repro.serve.journal import JournalRecord
+
+    records = [
+        JournalRecord(0, EV_SUBMITTED, "q", {"request": REQ}),
+        JournalRecord(1, EV_SUBMITTED, "r", {"request": REQ}),
+        JournalRecord(2, EV_STARTED, "r"),
+        JournalRecord(3, EV_SUBMITTED, "c", {"request": REQ}),
+        JournalRecord(4, EV_CANCELLED, "c", {"outcome": outcome_json(JobState.CANCELLED)}),
+    ]
+    jobs = reduce_journal(records)
+    assert jobs["q"].state == JobState.QUEUED and not jobs["q"].terminal
+    assert jobs["r"].state == JobState.RUNNING and not jobs["r"].terminal
+    assert jobs["c"].state == JobState.CANCELLED and jobs["c"].terminal

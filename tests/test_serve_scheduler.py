@@ -1,0 +1,170 @@
+"""Admission control and deficit-round-robin fair share."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.jobs import JobRecord, JobRequest, QueueFullError, QuotaExceededError
+from repro.serve.scheduler import FairShareScheduler, TenantQuota
+
+pytestmark = pytest.mark.fast
+
+
+def job(tenant="default", n_solvers=1, jid=None):
+    req = JobRequest(
+        kind="stp",
+        payload={"generator": "grid", "params": {"rows": 2, "cols": 2}},
+        tenant=tenant,
+        n_solvers=n_solvers,
+    )
+    jid = jid or f"{tenant}-{id(req):x}"
+    return JobRecord(job_id=jid, request=req)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_queue_full_is_typed_with_retry_after():
+    sched = FairShareScheduler(max_queue_depth=2)
+    sched.submit(job(jid="a"))
+    sched.submit(job(jid="b"))
+    with pytest.raises(QueueFullError) as exc:
+        sched.submit(job(jid="c"))
+    assert exc.value.code == "queue_full"
+    assert exc.value.retry_after > 0
+    assert sched.depth == 2  # the rejected job was never queued (load shed)
+
+
+def test_tenant_quota_is_typed_and_per_tenant():
+    sched = FairShareScheduler(
+        max_queue_depth=100, quotas={"small": TenantQuota(max_queued=1)}
+    )
+    sched.submit(job("small", jid="s1"))
+    with pytest.raises(QuotaExceededError) as exc:
+        sched.submit(job("small", jid="s2"))
+    assert exc.value.code == "quota_exceeded"
+    assert exc.value.retry_after > 0
+    # another tenant is unaffected by the small tenant's quota
+    sched.submit(job("big", jid="b1"))
+    assert sched.depth == 2
+
+
+def test_retry_after_scales_with_backlog():
+    sched = FairShareScheduler(max_queue_depth=100)
+    sched.observe_service(2.0)  # one observed 2s job
+    empty = sched.retry_after(slots=1)
+    for i in range(10):
+        sched.submit(job(jid=f"j{i}"))
+    assert sched.retry_after(slots=1) > empty
+    assert sched.retry_after(slots=4) < sched.retry_after(slots=1)
+
+
+def test_drr_fair_share_respects_weights():
+    """Under saturation, drained work converges to the weight ratio."""
+    sched = FairShareScheduler(
+        max_queue_depth=1000,
+        default_quota=TenantQuota(max_active=1000, max_queued=1000),
+        quotas={
+            "gold": TenantQuota(max_active=1000, max_queued=1000, weight=2.0),
+            "bronze": TenantQuota(max_active=1000, max_queued=1000, weight=1.0),
+        },
+    )
+    for i in range(60):
+        sched.submit(job("gold", jid=f"g{i}"))
+        sched.submit(job("bronze", jid=f"b{i}"))
+    drained = {"gold": 0, "bronze": 0}
+    for _ in range(45):
+        rec = sched.next_job(free_slots=1)
+        assert rec is not None
+        drained[rec.request.tenant] += 1
+    # 2:1 weights -> 30/15 exactly under DRR with unit costs
+    assert drained["gold"] == 30
+    assert drained["bronze"] == 15
+
+
+def test_drr_accounts_job_cost_in_slots():
+    sched = FairShareScheduler(
+        max_queue_depth=100, default_quota=TenantQuota(max_active=100, max_queued=100)
+    )
+    sched.submit(job("t", n_solvers=4, jid="wide"))
+    sched.submit(job("t", n_solvers=1, jid="narrow"))
+    # a 4-slot job cannot start on 2 free slots; DRR must not deadlock on it
+    assert sched.next_job(free_slots=2) is None
+    rec = sched.next_job(free_slots=4)
+    assert rec is not None and rec.job_id == "wide"
+
+
+def test_costly_job_accumulates_deficit_over_rounds():
+    sched = FairShareScheduler(
+        max_queue_depth=100,
+        default_quota=TenantQuota(max_active=100, max_queued=100),
+        quantum=1.0,
+    )
+    sched.submit(job("t", n_solvers=3, jid="wide"))
+    rec = sched.next_job(free_slots=8)
+    assert rec is not None and rec.job_id == "wide"  # DRR loops until deficit >= 3
+
+
+def test_max_active_blocks_dispatch_until_release():
+    sched = FairShareScheduler(
+        max_queue_depth=100, quotas={"t": TenantQuota(max_active=1, max_queued=10)}
+    )
+    sched.submit(job("t", jid="one"))
+    sched.submit(job("t", jid="two"))
+    first = sched.next_job(free_slots=4)
+    assert first is not None
+    assert sched.next_job(free_slots=4) is None  # tenant at max_active
+    sched.release("t", duration=0.5)
+    second = sched.next_job(free_slots=4)
+    assert second is not None and second.job_id == "two"
+
+
+def test_emptied_queue_forfeits_banked_deficit():
+    sched = FairShareScheduler(
+        max_queue_depth=100, default_quota=TenantQuota(max_active=100, max_queued=100)
+    )
+    sched.submit(job("t", jid="only"))
+    assert sched.next_job(free_slots=1) is not None
+    assert sched._deficit["t"] == 0.0  # no banked credit while idle
+
+
+def test_cancel_removes_queued_job():
+    sched = FairShareScheduler(max_queue_depth=10)
+    sched.submit(job("t", jid="target"))
+    sched.submit(job("t", jid="other"))
+    removed = sched.cancel("target")
+    assert removed is not None and removed.job_id == "target"
+    assert sched.depth == 1
+    assert sched.cancel("target") is None  # already gone
+
+
+def test_force_enqueue_bypasses_admission():
+    sched = FairShareScheduler(max_queue_depth=1)
+    sched.submit(job("t", jid="a"))
+    with pytest.raises(QueueFullError):
+        sched.submit(job("t", jid="b"))
+    sched.force_enqueue(job("t", jid="recovered"))  # crash recovery path
+    assert sched.depth == 2
+
+
+def test_snapshot_shape():
+    sched = FairShareScheduler(max_queue_depth=10)
+    sched.submit(job("t", jid="a"))
+    snap = sched.snapshot()
+    assert snap["t"]["queued"] == 1
+    assert snap["t"]["active"] == 0
+    assert snap["t"]["weight"] == 1.0
+
+
+def test_quota_validation():
+    with pytest.raises(ValueError):
+        TenantQuota(max_active=0)
+    with pytest.raises(ValueError):
+        TenantQuota(weight=0.0)
+    with pytest.raises(ValueError):
+        FairShareScheduler(max_queue_depth=0)

@@ -1,0 +1,107 @@
+"""Trace ring-buffer overflow is surfaced, not silent (issue satellite).
+
+The drop counter must travel the whole chain: ``Tracer.dropped`` ->
+``UGResult.trace_dropped`` -> ``UGStatistics.trace_events_dropped`` ->
+the audit refusal message citing the exact count.  Plus the
+``events_since`` cursor API the serve streaming endpoint relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.stp_plugins import SteinerUserPlugins
+from repro.obs.trace import Tracer
+from repro.steiner.instances import grid_instance
+from repro.ug import ug
+from repro.ug.config import UGConfig
+from repro.ug.statistics import UGStatistics
+from repro.verify.tree_audit import audit_cip_trace
+
+pytestmark = pytest.mark.fast
+
+
+def tiny_run(trace_capacity: int):
+    graph = grid_instance(rows=3, cols=3, n_terminals=4, seed=1)
+    config = UGConfig(trace_enabled=True, trace_capacity=trace_capacity)
+    solver = ug(graph, SteinerUserPlugins(), n_solvers=2, comm="sim", config=config)
+    return solver.run()
+
+
+class TestOverflowSurfacing:
+    def test_result_exposes_drop_count(self):
+        result = tiny_run(trace_capacity=4)
+        assert result.trace is not None
+        assert result.trace.dropped > 0
+        assert result.trace_dropped == result.trace.dropped
+        assert result.stats.trace_events_dropped == result.trace.dropped
+
+    def test_untruncated_run_reports_zero(self):
+        result = tiny_run(trace_capacity=1 << 16)
+        assert result.trace_dropped == 0
+        assert result.stats.trace_events_dropped == 0
+        assert UGStatistics().trace_events_dropped == 0  # field default
+
+    def test_result_without_trace_reports_zero(self):
+        graph = grid_instance(rows=2, cols=2, n_terminals=2, seed=1)
+        solver = ug(graph, SteinerUserPlugins(), n_solvers=1, comm="sim")
+        result = solver.run()
+        assert result.trace is None or result.trace_dropped >= 0
+        if result.trace is None:
+            assert result.trace_dropped == 0
+
+    def test_audit_refusal_cites_drop_count(self):
+        tracer = Tracer(capacity=2)
+        for i in range(7):
+            tracer.emit(float(i), "bb_node", 0, node=i)
+        report = audit_cip_trace(tracer)
+        refusal = next(c for c in report.failures if c.name == "trace_complete")
+        assert "5 events dropped" in refusal.detail
+        assert "trace_events_dropped" in refusal.detail  # points at the stats field
+
+    def test_audit_refusal_cites_override_count(self):
+        report = audit_cip_trace([], dropped=3)
+        refusal = next(c for c in report.failures if c.name == "trace_complete")
+        assert "3 events dropped" in refusal.detail
+
+
+class TestEventsSince:
+    def test_cursor_walks_the_stream(self):
+        tracer = Tracer(capacity=100)
+        tracer.emit(0.0, "a")
+        tracer.emit(1.0, "b")
+        cursor, missed, events = tracer.events_since(0)
+        assert (cursor, missed) == (2, 0)
+        assert [e.kind for e in events] == ["a", "b"]
+        tracer.emit(2.0, "c")
+        cursor, missed, events = tracer.events_since(cursor)
+        assert (cursor, missed) == (3, 0)
+        assert [e.kind for e in events] == ["c"]
+        # caught up: nothing new
+        assert tracer.events_since(cursor) == (3, 0, [])
+
+    def test_slow_consumer_sees_missed_count(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.emit(float(i), f"e{i}")
+        cursor, missed, events = tracer.events_since(0)
+        assert cursor == 10
+        assert missed == 7  # explicitly reported, not silently skipped
+        assert [e.kind for e in events] == ["e7", "e8", "e9"]
+
+    def test_partial_overlap_with_buffer(self):
+        tracer = Tracer(capacity=5)
+        for i in range(8):
+            tracer.emit(float(i), f"e{i}")
+        # buffer holds e3..e7; a cursor at 4 is still inside it, so the
+        # consumer missed nothing and reads e4..e7
+        cursor, missed, events = tracer.events_since(4)
+        assert (cursor, missed) == (8, 0)
+        assert [e.kind for e in events] == ["e4", "e5", "e6", "e7"]
+
+    def test_clear_resets_cursor_space(self):
+        tracer = Tracer(capacity=4)
+        tracer.emit(0.0, "a")
+        tracer.clear()
+        assert tracer.appended == 0
+        assert tracer.events_since(0) == (0, 0, [])
