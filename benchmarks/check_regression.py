@@ -1,8 +1,17 @@
-"""Nightly regression gate for the ProcessEngine wire path.
+"""Nightly regression gates over the committed bench baselines.
 
-Reads the ``BENCH_engine_overhead.json`` artifact produced by
-``bench_engine_overhead.py`` and compares the ProcessEngine throughput
-against the committed baseline (``benchmarks/baselines/engine_overhead.json``).
+Two independent gates, each skipped (not failed) when its bench artifact
+is absent:
+
+* **engine_overhead** — reads ``BENCH_engine_overhead.json`` produced by
+  ``bench_engine_overhead.py`` and compares the ProcessEngine throughput
+  against ``benchmarks/baselines/engine_overhead.json``.
+* **portfolio_racing** — reads ``BENCH_portfolio_racing.json`` produced
+  by ``bench_portfolio_racing.py`` and checks, against
+  ``benchmarks/baselines/portfolio_racing.json``, that enough races
+  still survive racing to a declared winner, that the winner histogram
+  spans enough generator families, and that every race stayed
+  certificate-valid.
 
 Absolute nodes/s tracks whatever box CI landed on, so the gated metric is
 the process/threads throughput *ratio* per rank count: both engines run
@@ -31,7 +40,9 @@ import os
 import sys
 from pathlib import Path
 
-BASELINE = Path(__file__).resolve().parent / "baselines" / "engine_overhead.json"
+BASELINES = Path(__file__).resolve().parent / "baselines"
+BASELINE = BASELINES / "engine_overhead.json"
+RACING_BASELINE = BASELINES / "portfolio_racing.json"
 
 
 def load_ratios(rows: list[dict]) -> dict[str, float]:
@@ -57,12 +68,7 @@ def load_ratios(rows: list[dict]) -> dict[str, float]:
     return ratios
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) > 1:
-        bench_path = Path(argv[1])
-    else:
-        out_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", "."))
-        bench_path = out_dir / "BENCH_engine_overhead.json"
+def check_engine_overhead(bench_path: Path) -> int:
     if not bench_path.exists():
         # the bench stage did not run (filtered CI, local dev box):
         # nothing to gate, and "nothing to gate" is not a failure
@@ -127,6 +133,81 @@ def main(argv: list[str]) -> int:
         return 1
     print("[check_regression] within tolerance")
     return 0
+
+
+def check_portfolio_racing(bench_path: Path) -> int:
+    """Gate the portfolio-racing histogram against its committed floors."""
+    if not bench_path.exists():
+        print(f"[check_regression] bench skipped: no artifact at {bench_path}; nothing to gate")
+        return 0
+    try:
+        bench = json.loads(bench_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[check_regression] bench artifact {bench_path} is unreadable: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(bench, dict) or not isinstance(bench.get("winners"), dict):
+        print(
+            f"[check_regression] bench artifact {bench_path} has no 'winners' mapping; "
+            "was it produced by bench_portfolio_racing.py?",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = json.loads(RACING_BASELINE.read_text())
+    except FileNotFoundError:
+        print(
+            f"[check_regression] committed baseline {RACING_BASELINE} is missing; "
+            "regenerate it from bench_portfolio_racing.py output and commit it",
+            file=sys.stderr,
+        )
+        return 2
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[check_regression] baseline {RACING_BASELINE} is unreadable: {exc}", file=sys.stderr)
+        return 2
+
+    failed = False
+    families = sorted(fam for fam, idxs in bench["winners"].items() if idxs)
+    min_families = int(baseline.get("min_families_with_winners", 5))
+    verdict = "ok" if len(families) >= min_families else "REGRESSION"
+    failed |= verdict != "ok"
+    print(
+        f"[check_regression] families with declared winners: {len(families)} "
+        f"(floor {min_families}: {', '.join(families) or 'none'}) -> {verdict}"
+    )
+
+    completed = int(bench.get("completed_races", 0))
+    min_completed = int(baseline.get("min_completed_races", 0))
+    verdict = "ok" if completed >= min_completed else "REGRESSION"
+    failed |= verdict != "ok"
+    print(
+        f"[check_regression] races surviving to a declared winner: {completed} "
+        f"(floor {min_completed}) -> {verdict}"
+    )
+
+    if baseline.get("require_all_certified", True):
+        certified, n_races = int(bench.get("certified_races", -1)), int(bench.get("n_races", 0))
+        verdict = "ok" if certified == n_races else "REGRESSION"
+        failed |= verdict != "ok"
+        print(f"[check_regression] certified races: {certified}/{n_races} -> {verdict}")
+
+    if failed:
+        print(
+            f"[check_regression] portfolio racing regressed vs {RACING_BASELINE.name}",
+            file=sys.stderr,
+        )
+        return 1
+    print("[check_regression] portfolio racing within baseline")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    out_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", "."))
+    engine_path = Path(argv[1]) if len(argv) > 1 else out_dir / "BENCH_engine_overhead.json"
+    codes = (
+        check_engine_overhead(engine_path),
+        check_portfolio_racing(out_dir / "BENCH_portfolio_racing.json"),
+    )
+    return max(codes)
 
 
 if __name__ == "__main__":

@@ -13,6 +13,18 @@ from repro.ug.para_solution import ParaSolution
 from repro.ug.user_plugins import HandleStep, SolverHandle, UserPlugins
 
 
+# Heuristic portfolios raced during ramp-up (Figure-1 style): each is a
+# (name, whitelist) pair; None = every registered heuristic. The names
+# are the plugin names registered in SteinerSolver._build_cip.
+STP_PORTFOLIOS: tuple[tuple[str, tuple[str, ...] | None], ...] = (
+    ("full", None),
+    ("construct", ("steiner_ascend_prune", "steiner_tm")),
+    ("mst", ("steiner_mstc", "steiner_key_vertex")),
+    ("local", ("steiner_tm", "steiner_key_vertex")),
+    ("lean", ()),
+)
+
+
 class SteinerHandle(SolverHandle):
     """Wraps a SteinerSolver working on one UG subproblem."""
 
@@ -100,12 +112,15 @@ class SteinerUserPlugins(UserPlugins):
         sets = []
         selections = ("bestbound", "dfs")
         for k in range(n):
+            pname, portfolio = STP_PORTFOLIOS[k % len(STP_PORTFOLIOS)]
             sets.append(
                 base.with_changes(
                     permutation_seed=k,
                     node_selection=selections[k % 2],
                     heur_frequency=(3, 5, 10, 1)[k % 4],
                     max_sepa_rounds=(12, 4, 20, 8)[k % 4],
+                    heuristic_portfolio=portfolio,
+                    extras={"stp/portfolio": pname},
                 )
             )
         return sets

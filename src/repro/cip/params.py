@@ -47,6 +47,10 @@ class ParamSet:
 
     # heuristic aggressiveness (frequency: run every k-th node; 0 = off)
     heur_frequency: int = 10
+    # heuristic portfolio: None = all registered heuristics; a tuple of
+    # plugin names whitelists exactly those (empty tuple = none). Racing
+    # ramp-up races differently-composed portfolios against each other.
+    heuristic_portfolio: tuple[str, ...] | None = None
 
     # branching
     branching_rule: str = ""  # empty = highest-priority registered rule
@@ -69,6 +73,12 @@ class ParamSet:
 
     # free-form application-specific knobs (e.g. steiner/extended_reductions)
     extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # JSON wire codecs decode tuples as lists; normalize so a ParamSet
+        # survives an encode -> decode round trip unchanged
+        if isinstance(self.heuristic_portfolio, list):
+            self.heuristic_portfolio = tuple(self.heuristic_portfolio)
 
     def with_changes(self, **kwargs: Any) -> "ParamSet":
         """Return a copy with the given fields replaced.

@@ -661,7 +661,10 @@ class CIPSolver:
         if self.budget.time_exceeded():
             self._note_budget_stop("heuristics")
             return
+        portfolio = self.params.heuristic_portfolio
         for heur in self.heuristics:
+            if portfolio is not None and heur.name not in portfolio:
+                continue
             self._guarded(heur, "run", None, lambda h=heur: h.run(self, node, x))
 
     def _branch(self, node: Node, x: np.ndarray | None) -> int:

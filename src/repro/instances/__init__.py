@@ -1,0 +1,221 @@
+"""``repro.instances`` — the seeded instance-generator zoo.
+
+The paper's computational study lives on instance diversity (SteinLib
+families for ug[SCIP-Jack, *], CBLIB for ug[SCIP-SDP, *]). This package
+provides deterministic, seeded generator *families* for both problem
+classes, each returning parsed in-memory instances that round-trip
+through the existing ``.stp``/CBF writers and parsers:
+
+>>> from repro.instances import generate_family
+>>> batch = generate_family("hypercube", seed=42)
+>>> batch[0].name, batch[0].kind
+('hypercube_dim4_s42', 'stp')
+
+Every family doubles as a property-testing zoo (structural invariants,
+byte-identical regeneration, write->parse round trips) and widens the
+differential-oracle and chaos-sweep surface. The CLI mirror of the
+FrontierCO toolkit lives in ``python -m repro.instances``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import ModelError
+from repro.instances import misdp as _misdp
+from repro.instances import stp as _stp
+from repro.instances.stp import stp_canonical
+from repro.sdp.cbf import read_cbf, write_cbf
+from repro.steiner.stp_io import parse_stp, write_stp
+
+__all__ = [
+    "FAMILIES",
+    "Family",
+    "GeneratedInstance",
+    "generate_family",
+    "instance_text",
+    "stp_canonical",
+    "tiny_zoo",
+    "verify_roundtrip",
+]
+
+
+@dataclass(frozen=True)
+class Family:
+    """One generator family: a builder plus its default and tiny configs.
+
+    ``configs`` drive the CLI and the property suite; ``tiny_configs``
+    are brute-force-able sizes for the differential sweep.
+    """
+
+    name: str
+    kind: str  # "stp" | "misdp"
+    description: str
+    build: Callable[..., Any]
+    configs: tuple[dict[str, Any], ...]
+    tiny_configs: tuple[dict[str, Any], ...] = ()
+
+    def label(self, config: dict[str, Any], seed: int) -> str:
+        parts = "".join(f"_{k[:3]}{v}" for k, v in sorted(config.items()) if not isinstance(v, bool))
+        return f"{self.name}{parts}_s{seed}"
+
+
+@dataclass(frozen=True)
+class GeneratedInstance:
+    """A built instance with its provenance (family, config, seed)."""
+
+    name: str
+    family: str
+    kind: str
+    seed: int
+    config: dict[str, Any] = field(default_factory=dict)
+    instance: Any = None
+
+
+FAMILIES: dict[str, Family] = {
+    f.name: f
+    for f in (
+        Family(
+            "hypercube",
+            "stp",
+            "hc-style d-cubes (dims 4-10), random terminals",
+            _stp.hypercube,
+            tuple({"dim": d} for d in range(4, 11)),
+            ({"dim": 3, "terminal_fraction": 0.4},),
+        ),
+        Family(
+            "orlib_random",
+            "stp",
+            "OR-Library B/C/D-class random sparse graphs, integer costs",
+            _stp.orlib_random,
+            (
+                {"n": 30, "m": 60, "n_terminals": 6},
+                {"n": 50, "m": 110, "n_terminals": 9},
+                {"n": 75, "m": 180, "n_terminals": 12},
+            ),
+            ({"n": 8, "m": 12, "n_terminals": 3},),
+        ),
+        Family(
+            "orlib_euclidean",
+            "stp",
+            "random points, k-nearest edges, Euclidean float costs",
+            _stp.orlib_euclidean,
+            ({"n": 25, "n_terminals": 5}, {"n": 40, "n_terminals": 8}),
+            ({"n": 8, "n_terminals": 3, "k_nearest": 3},),
+        ),
+        Family(
+            "pace",
+            "stp",
+            "PACE-2018-shaped: random tree plus short chords (low treewidth)",
+            _stp.pace,
+            ({"n": 35, "n_chords": 8, "n_terminals": 7}, {"n": 60, "n_chords": 15, "n_terminals": 10}),
+            ({"n": 9, "n_chords": 3, "n_terminals": 3},),
+        ),
+        Family(
+            "grid_holes",
+            "stp",
+            "geometric grid with rectangular holes carved out",
+            _stp.grid_holes,
+            ({"rows": 7, "cols": 7, "n_holes": 2}, {"rows": 9, "cols": 9, "n_holes": 3}),
+            ({"rows": 3, "cols": 4, "n_holes": 1, "n_terminals": 3},),
+        ),
+        Family(
+            "incidence",
+            "stp",
+            "incidence-weighted: cost(u,v) = w_u + w_v over a random graph",
+            _stp.incidence,
+            ({"n": 25, "extra_edges": 20, "n_terminals": 5}, {"n": 45, "extra_edges": 40, "n_terminals": 8}),
+            ({"n": 8, "extra_edges": 5, "n_terminals": 3},),
+        ),
+        Family(
+            "misdp_random",
+            "misdp",
+            "random SDP relaxations with bounded integer blocks (CBF-shaped)",
+            _misdp.misdp_random,
+            (
+                {"n_vars": 4, "block_size": 3},
+                {"n_vars": 5, "block_size": 4, "n_rows": 3},
+            ),
+            ({"n_vars": 3, "block_size": 2, "n_rows": 1, "ub": 1},),
+        ),
+        Family(
+            "misdp_diag",
+            "misdp",
+            "diagonally-dominant blocks + cardinality row (LP-friendly)",
+            _misdp.misdp_diag,
+            ({"n_vars": 4, "block_size": 3}, {"n_vars": 6, "block_size": 3}),
+            ({"n_vars": 3, "block_size": 2},),
+        ),
+    )
+}
+
+
+def generate_family(
+    family: str,
+    seed: int = 0,
+    instances_per_config: int = 1,
+    configs: tuple[dict[str, Any], ...] | None = None,
+) -> list[GeneratedInstance]:
+    """Build ``instances_per_config`` seeded instances for every config.
+
+    Instance ``i`` of a config uses ``seed + i``, mirroring the
+    FrontierCO generator's ``--instances_per_config``/``--seed`` knobs;
+    the whole batch is a pure function of ``(family, seed, configs)``.
+    """
+    fam = FAMILIES.get(family)
+    if fam is None:
+        raise ModelError(f"unknown instance family {family!r}; choose from {sorted(FAMILIES)}")
+    out: list[GeneratedInstance] = []
+    for config in configs if configs is not None else fam.configs:
+        for i in range(instances_per_config):
+            s = seed + i
+            out.append(
+                GeneratedInstance(
+                    name=fam.label(config, s),
+                    family=fam.name,
+                    kind=fam.kind,
+                    seed=s,
+                    config=dict(config),
+                    instance=fam.build(seed=s, **config),
+                )
+            )
+    return out
+
+
+def instance_text(gi: GeneratedInstance) -> tuple[str, str]:
+    """Serialize a generated instance; returns ``(file_suffix, text)``."""
+    if gi.kind == "stp":
+        return ".stp", write_stp(gi.instance, name=gi.name)
+    return ".cbf", write_cbf(gi.instance)
+
+
+def verify_roundtrip(gi: GeneratedInstance) -> None:
+    """Assert the write -> parse -> write round trip is lossless.
+
+    STP: the parsed graph must equal the generated one in canonical
+    (compacted) form. CBF: one round trip must be a serialization fixed
+    point. Raises ``AssertionError`` with a named mismatch otherwise.
+    """
+    _suffix, text = instance_text(gi)
+    if gi.kind == "stp":
+        parsed = parse_stp(text)
+        if stp_canonical(parsed) != stp_canonical(gi.instance):
+            raise AssertionError(f"{gi.name}: .stp round trip changed the instance")
+        if write_stp(parsed, name=gi.name) != text:
+            raise AssertionError(f"{gi.name}: .stp re-serialization is not byte-identical")
+    else:
+        reparsed = read_cbf(text, name=gi.name)
+        if write_cbf(reparsed) != text:
+            raise AssertionError(f"{gi.name}: CBF round trip is not a serialization fixed point")
+
+
+def tiny_zoo(seeds: tuple[int, ...] = (0, 1), kind: str | None = None) -> list[GeneratedInstance]:
+    """Brute-force-able instances across every family (differential sweep)."""
+    out: list[GeneratedInstance] = []
+    for fam in FAMILIES.values():
+        if kind is not None and fam.kind != kind:
+            continue
+        for seed in seeds:
+            out.extend(generate_family(fam.name, seed=seed, configs=fam.tiny_configs))
+    return out

@@ -1,0 +1,115 @@
+"""Seeded CBF-shaped MISDP generators for the instance zoo.
+
+Two families of random mixed integer semidefinite programs in the
+paper's dual (sup) form, feasible *by construction*: every instance is
+built around a deterministic integer anchor point ``y0`` at which each
+PSD block evaluates to ``alpha * I`` (strictly positive definite) and
+every linear row holds with slack. The anchor is re-derivable from the
+seed via :func:`anchor_point`, which the property suite uses to assert
+feasibility without solving.
+
+* ``misdp_random`` — dense random symmetric blocks with bounded integer
+  variables and a few calibrated scalar rows; the "random SDP relaxation
+  with integer blocks" shape of the issue.
+* ``misdp_diag`` — diagonally-dominant blocks whose SDP relaxation is
+  tight-ish, plus a cardinality row; LP-friendlier, mirroring the
+  CLS-vs-Mk-P spread of the paper's Figure 1 portfolio discussion.
+
+All numeric data are small integers (as floats), so the CBF text
+round-trips through ``repr`` without precision noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sdp.model import MISDP
+from repro.utils import make_rng
+
+
+def anchor_point(n_vars: int, ub: int, seed: int) -> np.ndarray:
+    """The feasible integer anchor both families are calibrated around.
+
+    Must stay the *first* draw of the builders' RNG streams so it can be
+    reconstructed independently of the rest of the instance.
+    """
+    rng = make_rng(seed)
+    return rng.integers(0, ub + 1, size=n_vars).astype(float)
+
+
+def _symmetric_int_matrix(rng, size: int, lo: int = -2, hi: int = 3) -> np.ndarray:
+    raw = rng.integers(lo, hi, size=(size, size)).astype(float)
+    return raw + raw.T  # symmetric with integral entries
+
+
+def misdp_random(
+    n_vars: int = 4,
+    block_size: int = 3,
+    n_blocks: int = 1,
+    n_rows: int = 2,
+    ub: int = 2,
+    seed: int = 0,
+) -> MISDP:
+    """Random SDP relaxation with integer blocks, anchored feasible."""
+    rng = make_rng(seed)
+    y0 = rng.integers(0, ub + 1, size=n_vars).astype(float)  # == anchor_point(seed)
+    b = rng.integers(-5, 6, size=n_vars).astype(float)
+    misdp = MISDP(
+        f"misdp_random_{n_vars}v_{block_size}b_s{seed}",
+        b,
+        np.zeros(n_vars),
+        np.full(n_vars, float(ub)),
+        integers=list(range(n_vars)),
+    )
+    for k in range(n_blocks):
+        coefs = {j: _symmetric_int_matrix(rng, block_size) for j in range(n_vars)}
+        alpha = float(rng.integers(2, 6))
+        C = alpha * np.eye(block_size)
+        for j, A in coefs.items():
+            C += A * y0[j]  # Z(y0) = C - sum A_j y0_j = alpha * I > 0
+        misdp.add_block(C, coefs, f"rand{k}")
+    for r in range(n_rows):
+        support = rng.choice(n_vars, size=min(n_vars, 2 + r % 2), replace=False)
+        coefs_r = {int(j): float(rng.integers(-3, 4)) for j in support}
+        act0 = sum(c * y0[j] for j, c in coefs_r.items())
+        slack = float(rng.integers(1, 4))
+        if r % 2 == 0:
+            misdp.add_linear_row(coefs_r, rhs=act0 + slack, name=f"r{r}")
+        else:
+            misdp.add_linear_row(coefs_r, lhs=act0 - slack, name=f"r{r}")
+    return misdp
+
+
+def misdp_diag(
+    n_vars: int = 4,
+    block_size: int = 3,
+    ub: int = 1,
+    seed: int = 0,
+) -> MISDP:
+    """Diagonally-dominant blocks + a cardinality row (binary by default)."""
+    rng = make_rng(seed)
+    y0 = rng.integers(0, ub + 1, size=n_vars).astype(float)  # == anchor_point(seed)
+    b = rng.integers(-4, 5, size=n_vars).astype(float)
+    misdp = MISDP(
+        f"misdp_diag_{n_vars}v_{block_size}b_s{seed}",
+        b,
+        np.zeros(n_vars),
+        np.full(n_vars, float(ub)),
+        integers=list(range(n_vars)),
+    )
+    coefs = {}
+    for j in range(n_vars):
+        A = np.zeros((block_size, block_size))
+        d = int(rng.integers(0, block_size))
+        A[d, d] = float(rng.integers(1, 4))
+        off = (d + 1) % block_size
+        A[d, off] = A[off, d] = 1.0
+        coefs[j] = A
+    alpha = float(n_vars * 4 + 2)  # dominates any |sum A_j y_j| on the grid
+    C = alpha * np.eye(block_size)
+    for j, A in coefs.items():
+        C += A * y0[j]
+    misdp.add_block(C, coefs, "diag")
+    budget = float(max(1, int(np.sum(y0)) + 1))
+    misdp.add_linear_row({j: 1.0 for j in range(n_vars)}, rhs=budget, name="card")
+    return misdp

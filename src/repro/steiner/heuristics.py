@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.steiner.graph import SteinerGraph
 from repro.steiner.mst import mst_on_subgraph, prune_steiner_tree
+from repro.steiner.shortest_paths import dijkstra, extract_path
 from repro.utils import make_rng
 
 
@@ -110,6 +111,136 @@ def repeated_shortest_path_heuristic(
         if res is not None and (best is None or res[1] < best[1] - 1e-12):
             best = res
     return best
+
+
+def mst_construction_heuristic(
+    graph: SteinerGraph,
+    cost_override: dict[int, float] | None = None,
+) -> tuple[list[int], float] | None:
+    """KMB-style MST construction (Kou–Markowsky–Berman).
+
+    Build the metric closure over the terminals (Dijkstra per terminal),
+    take Prim's MST of that closure, replace each closure edge by its
+    shortest path, and polish with an MST + prune pass on the union.
+    Returns (edge ids, cost under the true costs) or None when some
+    terminal is unreachable. Complements TM: on incidence-weighted and
+    grid-like instances the two constructions pick different trees.
+    """
+    terms = [int(t) for t in graph.terminals]
+    if not terms:
+        return [], 0.0
+    if len(terms) == 1:
+        return [], 0.0
+    target_set = set(terms)
+    dists: dict[int, np.ndarray] = {}
+    preds: dict[int, np.ndarray] = {}
+    for t in terms:
+        dist, pred = dijkstra(graph, t, targets=target_set, cost_override=cost_override)
+        dists[t] = dist
+        preds[t] = pred
+    # Prim over the metric closure, tracking which closure edge joins each
+    # newly spanned terminal
+    in_mst = {terms[0]}
+    best_src = {t: terms[0] for t in terms[1:]}
+    tree_edges: set[int] = set()
+    while len(in_mst) < len(terms):
+        cand, cand_src, cand_d = None, None, math.inf
+        for t in terms:
+            if t in in_mst:
+                continue
+            src = best_src[t]
+            d = float(dists[src][t])
+            if d < cand_d - 1e-12:
+                cand, cand_src, cand_d = t, src, d
+        if cand is None or not math.isfinite(cand_d):
+            return None  # disconnected terminal set
+        tree_edges.update(extract_path(graph, preds[cand_src], cand))
+        in_mst.add(cand)
+        for t in terms:
+            if t not in in_mst and float(dists[cand][t]) < float(dists[best_src[t]][t]) - 1e-12:
+                best_src[t] = cand
+    vertices = set(terms)
+    for eid in tree_edges:
+        e = graph.edges[eid]
+        vertices.add(e.u)
+        vertices.add(e.v)
+    mst = mst_on_subgraph(graph, vertices)
+    if mst is not None:
+        tree_edges = set(mst[0])
+    return prune_steiner_tree(graph, sorted(tree_edges))
+
+
+def key_vertex_local_search(
+    graph: SteinerGraph,
+    edge_ids: list[int],
+    max_rounds: int = 3,
+    seed: int = 0,
+) -> tuple[list[int], float]:
+    """Uchoa–Werneck-style key-vertex elimination/insertion local search.
+
+    Key vertices are the non-terminal tree vertices of tree-degree >= 3 —
+    the branching points whose removal restructures the tree the most.
+    Each round tries, in a seeded first-improvement order: (a) eliminating
+    a key vertex and reconnecting via MST over the remaining vertex set,
+    (b) inserting an outside vertex adjacent to >= 2 tree vertices (the
+    only candidates that can create a shortcut). Unlike ``local_search``
+    it never scans every tree vertex, so it stays cheap on large trees.
+    """
+    current = list(edge_ids)
+    current_cost = sum(graph.edges[e].cost for e in current)
+    rng = make_rng(seed)
+
+    def tree_info(edges_: list[int]) -> tuple[set[int], dict[int, int]]:
+        vs: set[int] = set()
+        deg: dict[int, int] = {}
+        for eid in edges_:
+            e = graph.edges[eid]
+            vs.add(e.u)
+            vs.add(e.v)
+            deg[e.u] = deg.get(e.u, 0) + 1
+            deg[e.v] = deg.get(e.v, 0) + 1
+        vs.update(int(t) for t in graph.terminals)
+        return vs, deg
+
+    def try_vertex_set(trial: set[int]) -> tuple[list[int], float] | None:
+        mst = mst_on_subgraph(graph, trial)
+        if mst is None:
+            return None
+        pruned, cost = prune_steiner_tree(graph, mst[0])
+        if cost < current_cost - 1e-9:
+            return pruned, cost
+        return None
+
+    for _round in range(max_rounds):
+        improved = False
+        vertices, deg = tree_info(current)
+        key_vertices = [v for v in sorted(vertices) if deg.get(v, 0) >= 3 and not graph.is_terminal(v)]
+        if key_vertices:
+            rng.shuffle(key_vertices)
+        for cand in key_vertices:
+            res = try_vertex_set(vertices - {cand})
+            if res is not None:
+                current, current_cost = res
+                improved = True
+                vertices, deg = tree_info(current)
+        # insertion: outside vertices touching the tree at >= 2 points
+        touch: dict[int, int] = {}
+        for v in vertices:
+            for w, _eid, _c in graph.neighbors(v):
+                if w not in vertices:
+                    touch[w] = touch.get(w, 0) + 1
+        candidates = [v for v, k in sorted(touch.items()) if k >= 2]
+        if candidates:
+            rng.shuffle(candidates)
+        for cand in candidates:
+            res = try_vertex_set(vertices | {cand})
+            if res is not None:
+                current, current_cost = res
+                improved = True
+                vertices, _deg = tree_info(current)
+        if not improved:
+            break
+    return current, current_cost
 
 
 def local_search(

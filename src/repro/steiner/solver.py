@@ -37,7 +37,12 @@ from repro.exceptions import GraphError
 from repro.steiner.branching import SteinerVertexBranching
 from repro.steiner.dual_ascent import DualAscentResult, dual_ascent
 from repro.steiner.graph import SteinerGraph
-from repro.steiner.heuristics import local_search, repeated_shortest_path_heuristic
+from repro.steiner.heuristics import (
+    key_vertex_local_search,
+    local_search,
+    mst_construction_heuristic,
+    repeated_shortest_path_heuristic,
+)
 from repro.steiner.reductions import ReductionStats, reduce_graph
 from repro.steiner.separators import SteinerCutHandler
 from repro.steiner.transformations import SAPDigraph, arborescence_from_arcs, spg_to_sap
@@ -141,6 +146,78 @@ class SteinerLPHeuristic(Heuristic):
             return
         edges, cost = local_search(graph, res[0], max_rounds=1)
         _offer_tree_solution(solver, edges, cost)
+
+
+class SteinerMSTHeuristic(Heuristic):
+    """KMB construction: MST of the terminal metric closure, then prune.
+
+    Runs LP-biased once an LP solution is available (same cost scaling as
+    the TM heuristic); on the root call it runs on the raw costs. TM and
+    KMB pick genuinely different trees on incidence-weighted and grid
+    instances, which is what makes racing the two portfolios meaningful.
+    """
+
+    name = "steiner_mstc"
+    priority = 55
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._calls = 0
+
+    def run(self, solver: CIPSolver, node: Node, x: np.ndarray | None) -> None:
+        data: SteinerData = solver.model.data
+        graph = data.graph
+        override: dict[int, float] | None = None
+        if x is not None:
+            override = {}
+            for k, eid in enumerate(graph.alive_edges()):
+                lp_weight = max(float(x[2 * k]), float(x[2 * k + 1]))
+                cost = graph.edges[eid].cost
+                override[eid] = cost * max(1.0 - lp_weight, 0.02)
+        self._calls += 1
+        res = mst_construction_heuristic(graph, cost_override=override)
+        if res is None:
+            return
+        edges, cost = key_vertex_local_search(
+            graph, res[0], max_rounds=1, seed=self.seed + self._calls
+        )
+        _offer_tree_solution(solver, edges, cost)
+
+
+class KeyVertexHeuristic(Heuristic):
+    """Polish the incumbent with key-vertex elimination/insertion moves.
+
+    A pure improvement heuristic in the Uchoa–Werneck local-search
+    tradition: it never constructs a tree itself, it restructures the
+    current best one around its branching (key) vertices. Skips work when
+    the incumbent has not changed since the last polish.
+    """
+
+    name = "steiner_key_vertex"
+    priority = 45
+
+    def __init__(self, seed: int = 0, max_rounds: int = 2) -> None:
+        self.seed = seed
+        self.max_rounds = max_rounds
+        self._last_value: float | None = None
+
+    def run(self, solver: CIPSolver, node: Node, x: np.ndarray | None) -> None:
+        inc = solver.incumbent
+        if inc is None or inc.x is None:
+            return
+        if self._last_value is not None and inc.value >= self._last_value - solver.tol.eps:
+            return
+        self._last_value = inc.value
+        data: SteinerData = solver.model.data
+        graph, sap = data.graph, data.sap
+        edges = sorted({int(sap.arc_edge[a]) for a in np.flatnonzero(inc.x > 0.5)})
+        if not edges:
+            return
+        polished, cost = key_vertex_local_search(
+            graph, edges, max_rounds=self.max_rounds, seed=self.seed
+        )
+        if _offer_tree_solution(solver, polished, cost):
+            self._last_value = cost + solver.model.obj_offset
 
 
 def _offer_tree_solution(solver: CIPSolver, edges: list[int], cost: float) -> bool:
@@ -353,7 +430,9 @@ class SteinerSolver:
         cip.include_constraint_handler(SteinerCutHandler(sap))
         cip.include_propagator(DualAscentFixingPropagator())
         cip.include_heuristic(DualAscentHeuristic(seed=self.seed))
+        cip.include_heuristic(SteinerMSTHeuristic(seed=self.seed))
         cip.include_heuristic(SteinerLPHeuristic(seed=self.seed))
+        cip.include_heuristic(KeyVertexHeuristic(seed=self.seed))
         cip.include_branching_rule(SteinerVertexBranching(sap))
         cip.include_branching_rule(MostFractionalBranching())
         cip.setup(root_estimate=max(da.lower_bound + model.obj_offset, dual_bound_estimate))

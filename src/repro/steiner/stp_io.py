@@ -4,6 +4,14 @@ Supports the sections used by the SPG instances of SteinLib (PUC, I640,
 ...): ``Comment``, ``Graph`` (Nodes/Edges/E lines, 1-based ids) and
 ``Terminals`` (T lines). Prize-collecting extensions are out of scope of
 the paper's experiments and are rejected explicitly.
+
+The reader and writer are kept *symmetric*: everything the writer can
+emit the parser accepts, and the parser rejects — with 1-based ids in
+the message — anything the writer could never have produced (ids outside
+``[1, Nodes]``, self-loops, declared ``Edges``/``Terminals`` counts that
+disagree with the actual lines, zero terminals). The generator zoo's
+round-trip property suite (``tests/test_instances_generators.py``)
+enforces this contract for every family.
 """
 
 from __future__ import annotations
@@ -19,8 +27,10 @@ def parse_stp(text: str) -> SteinerGraph:
     """Parse SteinLib text into a :class:`SteinerGraph`."""
     lines = [ln.strip() for ln in text.splitlines()]
     n_nodes: int | None = None
-    edges: list[tuple[int, int, float]] = []
-    terminals: list[int] = []
+    edges: list[tuple[int, int, float]] = []  # 1-based endpoints, as read
+    terminals: list[int] = []  # 1-based, as read
+    declared_edges: int | None = None
+    declared_terminals: int | None = None
     section = ""
     for raw in lines:
         if not raw or raw.startswith("#"):
@@ -39,27 +49,41 @@ def parse_stp(text: str) -> SteinerGraph:
                 n_nodes = int(parts[1])
             elif key in ("e", "a"):
                 u, v, c = int(parts[1]), int(parts[2]), float(parts[3])
-                edges.append((u - 1, v - 1, c))
+                edges.append((u, v, c))
             elif key == "edges" or key == "arcs":
-                continue
+                declared_edges = int(parts[1])
         elif section.startswith("terminals"):
             if key == "t":
-                terminals.append(int(parts[1]) - 1)
+                terminals.append(int(parts[1]))
             elif key == "terminals":
-                continue
+                declared_terminals = int(parts[1])
             elif key in ("rootp", "root", "tp"):
                 raise GraphError("prize-collecting STP sections are not supported")
         elif section.startswith("maximumdegrees") or section.startswith("coordinates"):
             continue
     if n_nodes is None:
         raise GraphError("missing 'Nodes' line in Graph section")
+    if declared_edges is not None and declared_edges != len(edges):
+        raise GraphError(
+            f"Graph section declares {declared_edges} edges but lists {len(edges)} "
+            "(truncated or corrupt file)"
+        )
+    if declared_terminals is not None and declared_terminals != len(terminals):
+        raise GraphError(
+            f"Terminals section declares {declared_terminals} terminals but lists "
+            f"{len(terminals)} (truncated or corrupt file)"
+        )
     g = SteinerGraph.create(n_nodes)
     for u, v, c in edges:
+        if not (1 <= u <= n_nodes and 1 <= v <= n_nodes):
+            raise GraphError(f"edge ({u}, {v}) uses node ids outside [1, {n_nodes}] (ids are 1-based)")
         if u == v:
-            continue
-        g.add_edge(u, v, c)
+            raise GraphError(f"self-loop on node {u} is not a valid SPG edge")
+        g.add_edge(u - 1, v - 1, c)
     for t in terminals:
-        g.set_terminal(t)
+        if not 1 <= t <= n_nodes:
+            raise GraphError(f"terminal {t} outside [1, {n_nodes}] (ids are 1-based)")
+        g.set_terminal(t - 1)
     if g.num_terminals == 0:
         raise GraphError("instance has no terminals")
     return g
@@ -73,8 +97,12 @@ def read_stp(path: str | Path) -> SteinerGraph:
 def write_stp(graph: SteinerGraph, name: str = "instance") -> str:
     """Serialize the alive part of ``graph`` in SteinLib format.
 
-    Vertex ids are compacted to 1..|V_alive| in the output.
+    Vertex ids are compacted to 1..|V_alive| in the output. A graph
+    without terminals is refused — the parser (rightly) rejects such
+    files, and a writer must not emit output its own reader cannot read.
     """
+    if graph.num_terminals == 0:
+        raise GraphError("refusing to write an instance with no terminals")
     buf = io.StringIO()
     buf.write("33D32945 STP File, STP Format Version 1.0\n\n")
     buf.write("SECTION Comment\n")
