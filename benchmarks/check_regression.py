@@ -1,7 +1,7 @@
 """Nightly regression gates over the committed bench baselines.
 
-Two independent gates, each skipped (not failed) when its bench artifact
-is absent:
+Three independent gates, each skipped (not failed) when its bench
+artifact is absent:
 
 * **engine_overhead** — reads ``BENCH_engine_overhead.json`` produced by
   ``bench_engine_overhead.py`` and compares the ProcessEngine throughput
@@ -12,6 +12,13 @@ is absent:
   still survive racing to a declared winner, that the winner histogram
   spans enough generator families, and that every race stayed
   certificate-valid.
+* **kernel_modern** — reads ``BENCH_kernel_modern.json`` produced by
+  ``bench_kernel_modern.py`` and checks, against
+  ``benchmarks/baselines/kernel_modern.json``, that the modern preset
+  (conflict analysis + orbital fixing + restarts) still at least halves
+  the parity-hypercube node count, that every feature-on solve stayed
+  exact/certified/audited, and that the forced-restart probe fired and
+  passed restart accounting.
 
 Absolute nodes/s tracks whatever box CI landed on, so the gated metric is
 the process/threads throughput *ratio* per rank count: both engines run
@@ -43,6 +50,7 @@ from pathlib import Path
 BASELINES = Path(__file__).resolve().parent / "baselines"
 BASELINE = BASELINES / "engine_overhead.json"
 RACING_BASELINE = BASELINES / "portfolio_racing.json"
+KERNEL_MODERN_BASELINE = BASELINES / "kernel_modern.json"
 
 
 def load_ratios(rows: list[dict]) -> dict[str, float]:
@@ -200,12 +208,92 @@ def check_portfolio_racing(bench_path: Path) -> int:
     return 0
 
 
+def check_kernel_modern(bench_path: Path) -> int:
+    """Gate the modern-kernel ablation against its committed floors.
+
+    Three checks, mirroring the acceptance criteria of the subsystem:
+    the parity-hypercube median node ratio (modern/off) must stay at or
+    below ``max_hypercube_ratio``; every feature-on solve must be exact,
+    certificate-valid and trace-audited; and the forced-restart probe
+    must have fired at least one restart whose ``restart_accounting``
+    audit check passed.
+    """
+    if not bench_path.exists():
+        print(f"[check_regression] bench skipped: no artifact at {bench_path}; nothing to gate")
+        return 0
+    try:
+        bench = json.loads(bench_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[check_regression] bench artifact {bench_path} is unreadable: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(bench, dict) or "hypercube_median_ratio" not in bench:
+        print(
+            f"[check_regression] bench artifact {bench_path} has no 'hypercube_median_ratio'; "
+            "was it produced by bench_kernel_modern.py?",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = json.loads(KERNEL_MODERN_BASELINE.read_text())
+    except FileNotFoundError:
+        print(
+            f"[check_regression] committed baseline {KERNEL_MODERN_BASELINE} is missing; "
+            "regenerate it from bench_kernel_modern.py output and commit it",
+            file=sys.stderr,
+        )
+        return 2
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[check_regression] baseline {KERNEL_MODERN_BASELINE} is unreadable: {exc}", file=sys.stderr)
+        return 2
+
+    failed = False
+    ratio = float(bench["hypercube_median_ratio"])
+    ceiling = float(baseline.get("max_hypercube_ratio", 0.5))
+    verdict = "ok" if ratio <= ceiling else "REGRESSION"
+    failed |= verdict != "ok"
+    print(
+        f"[check_regression] hypercube modern/off node ratio {ratio:.3f} "
+        f"(ceiling {ceiling:.3f}) -> {verdict}"
+    )
+
+    for flag in ("all_exact", "all_certified", "all_audited"):
+        require = baseline.get("require_" + flag, baseline.get("require_all_certified", True))
+        if not require:
+            continue
+        ok = bool(bench.get(flag, False))
+        verdict = "ok" if ok else "REGRESSION"
+        failed |= not ok
+        print(f"[check_regression] {flag}: {ok} -> {verdict}")
+
+    if baseline.get("require_restart_probe", True):
+        probe = bench.get("restart_probe") or {}
+        ok = (
+            int(probe.get("restarts", 0)) >= 1
+            and bool(probe.get("restart_accounting_ok"))
+            and bool(probe.get("exact"))
+            and bool(probe.get("certified"))
+        )
+        verdict = "ok" if ok else "REGRESSION"
+        failed |= not ok
+        print(f"[check_regression] restart probe fired+accounted+certified: {ok} -> {verdict}")
+
+    if failed:
+        print(
+            f"[check_regression] modern kernel regressed vs {KERNEL_MODERN_BASELINE.name}",
+            file=sys.stderr,
+        )
+        return 1
+    print("[check_regression] modern kernel within baseline")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     out_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", "."))
     engine_path = Path(argv[1]) if len(argv) > 1 else out_dir / "BENCH_engine_overhead.json"
     codes = (
         check_engine_overhead(engine_path),
         check_portfolio_racing(out_dir / "BENCH_portfolio_racing.json"),
+        check_kernel_modern(out_dir / "BENCH_kernel_modern.json"),
     )
     return max(codes)
 

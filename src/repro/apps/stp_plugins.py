@@ -24,6 +24,17 @@ STP_PORTFOLIOS: tuple[tuple[str, tuple[str, ...] | None], ...] = (
     ("lean", ()),
 )
 
+# Opt-in (extras["stp/race_plugin_sets"]): racing lanes additionally vary
+# whole per-kind plugin whitelists, not just the heuristic portfolio.
+# Only optional plugins are toggled — the Steiner constraint handler is a
+# conshdlr (not whitelistable), so feasibility never depends on a lane.
+STP_PLUGIN_SETS: tuple[tuple[str, dict[str, tuple[str, ...]] | None], ...] = (
+    ("all", None),
+    ("no_dual_fixing", {"propagator": ("integrality", "linear_activity")}),
+    ("no_generic_branching", {"branching": ("steinervertex",)}),
+    ("lean_propagation", {"propagator": ("integrality",)}),
+)
+
 
 class SteinerHandle(SolverHandle):
     """Wraps a SteinerSolver working on one UG subproblem."""
@@ -111,8 +122,14 @@ class SteinerUserPlugins(UserPlugins):
     def racing_param_sets(self, n: int, base: ParamSet) -> list[ParamSet]:
         sets = []
         selections = ("bestbound", "dfs")
+        race_plugin_sets = bool(base.get_extra("stp/race_plugin_sets", False))
         for k in range(n):
             pname, portfolio = STP_PORTFOLIOS[k % len(STP_PORTFOLIOS)]
+            extras = {"stp/portfolio": pname}
+            whitelists = base.plugin_whitelists
+            if race_plugin_sets:
+                sname, whitelists = STP_PLUGIN_SETS[k % len(STP_PLUGIN_SETS)]
+                extras["stp/plugin_set"] = sname
             sets.append(
                 base.with_changes(
                     permutation_seed=k,
@@ -120,7 +137,8 @@ class SteinerUserPlugins(UserPlugins):
                     heur_frequency=(3, 5, 10, 1)[k % 4],
                     max_sepa_rounds=(12, 4, 20, 8)[k % 4],
                     heuristic_portfolio=portfolio,
-                    extras={"stp/portfolio": pname},
+                    plugin_whitelists=whitelists,
+                    extras=extras,
                 )
             )
         return sets

@@ -11,6 +11,13 @@ lets :mod:`repro.ug` parallelize them with tiny glue files
 """
 
 from repro.cip.model import Model, Variable, LinearConstraint, VarType
+from repro.cip.registry import (
+    PLUGIN_KINDS,
+    WHITELISTABLE_KINDS,
+    PluginRegistry,
+    known_plugin_names,
+    validate_plugin_names,
+)
 from repro.cip.solver import CIPSolver
 from repro.cip.result import SolveResult, SolveStatus, Solution
 from repro.cip.params import ParamSet, EMPHASIS_PRESETS
@@ -40,6 +47,11 @@ __all__ = [
     "Solution",
     "ParamSet",
     "EMPHASIS_PRESETS",
+    "PluginRegistry",
+    "PLUGIN_KINDS",
+    "WHITELISTABLE_KINDS",
+    "known_plugin_names",
+    "validate_plugin_names",
     "BranchingRule",
     "ChildSpec",
     "ConstraintHandler",

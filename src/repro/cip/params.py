@@ -51,9 +51,41 @@ class ParamSet:
     # plugin names whitelists exactly those (empty tuple = none). Racing
     # ramp-up races differently-composed portfolios against each other.
     heuristic_portfolio: tuple[str, ...] | None = None
+    # per-kind plugin whitelists (generalizing heuristic_portfolio to any
+    # whitelistable kind): maps kind -> tuple of plugin names. None = no
+    # restriction anywhere; a missing kind = that kind unrestricted; an
+    # empty tuple disables the kind.  For "heuristic",
+    # ``heuristic_portfolio`` takes precedence when set.
+    plugin_whitelists: dict[str, tuple[str, ...]] | None = None
 
     # branching
     branching_rule: str = ""  # empty = highest-priority registered rule
+
+    # -- modern kernel features (all default OFF: the classical kernel
+    # -- stays byte-identical; the "modern" emphasis preset enables them)
+    # conflict analysis: learn no-good constraints from infeasible
+    # propagations/LPs (1-FUIP-style over the bound-change trail)
+    conflict_analysis: bool = False
+    conflict_pool_size: int = 256  # bounded pool, lowest-activity eviction
+    conflict_max_literals: int = 32  # longer conflicts are discarded as weak
+    # symmetry handling: "off", "lex" (static lex-leader constraints) or
+    # "orbital" (orbital fixing during propagation). One-of: combining
+    # both reductions is unsound, so the mode picks exactly one.
+    symmetry_mode: str = "off"
+    symmetry_max_generators: int = 64
+    # symmetry detection seed: deliberately NOT permutation_seed — every
+    # rank of a UG run must derive the identical generator set or their
+    # per-rank symmetry reductions stop agreeing on which orbit
+    # representative survives (see cip/symmetry.py)
+    symmetry_seed: int = 0
+    # estimation-driven restarts: discard the tree and restart from the
+    # root (keeping incumbent, cuts, learned conflicts and root bound)
+    # when tree-size estimation says the current tree is blowing up
+    restarts: bool = False
+    restart_max: int = 1
+    restart_min_nodes: int = 100  # never restart before this many nodes
+    # trigger when estimated remaining nodes >= factor * nodes processed
+    restart_node_factor: float = 4.0
 
     # robustness: quarantine a non-essential plugin after this many
     # failed callbacks (SCIP-style "disabled for the rest of the solve")
@@ -79,6 +111,42 @@ class ParamSet:
         # survives an encode -> decode round trip unchanged
         if isinstance(self.heuristic_portfolio, list):
             self.heuristic_portfolio = tuple(self.heuristic_portfolio)
+        if self.plugin_whitelists is not None:
+            self.plugin_whitelists = {
+                str(kind): tuple(names) for kind, names in self.plugin_whitelists.items()
+            }
+        self._validate()
+
+    def _validate(self) -> None:
+        from repro.cip.registry import WHITELISTABLE_KINDS, validate_plugin_names
+
+        if self.symmetry_mode not in ("off", "lex", "orbital"):
+            raise ModelError(
+                f"unknown symmetry_mode {self.symmetry_mode!r}; choose off, lex or orbital"
+            )
+        if self.heuristic_portfolio:
+            validate_plugin_names(self.heuristic_portfolio, "heuristic_portfolio")
+        if self.plugin_whitelists:
+            for kind, names in self.plugin_whitelists.items():
+                if kind not in WHITELISTABLE_KINDS:
+                    raise ModelError(
+                        f"plugin_whitelists kind {kind!r} is not whitelistable; "
+                        f"choose from {WHITELISTABLE_KINDS}"
+                    )
+                if names:
+                    validate_plugin_names(names, f"plugin_whitelists[{kind!r}]")
+        if self.conflict_pool_size < 1 or self.conflict_max_literals < 1:
+            raise ModelError("conflict pool size and literal cap must be >= 1")
+        if self.restart_max < 0 or self.restart_min_nodes < 1 or self.restart_node_factor <= 0:
+            raise ModelError("restart parameters out of range")
+
+    def whitelist_for(self, kind: str) -> tuple[str, ...] | None:
+        """Effective whitelist for one plugin kind (None = unrestricted)."""
+        if kind == "heuristic" and self.heuristic_portfolio is not None:
+            return self.heuristic_portfolio
+        if self.plugin_whitelists is not None:
+            return self.plugin_whitelists.get(kind)
+        return None
 
     def with_changes(self, **kwargs: Any) -> "ParamSet":
         """Return a copy with the given fields replaced.
@@ -156,12 +224,26 @@ def _emphasis_optimality() -> ParamSet:
     )
 
 
+def _emphasis_modern() -> ParamSet:
+    """The modern-kernel preset: conflict analysis, orbital fixing and
+    estimation-driven restarts on (SCIP Suite 8–10 feature set). The
+    classical presets keep these off so historical runs stay
+    byte-identical."""
+    return ParamSet(
+        emphasis="modern",
+        conflict_analysis=True,
+        symmetry_mode="orbital",
+        restarts=True,
+    )
+
+
 EMPHASIS_PRESETS = {
     "default": _emphasis_default,
     "easycip": _emphasis_easycip,
     "aggressive": _emphasis_aggressive,
     "feasibility": _emphasis_feasibility,
     "optimality": _emphasis_optimality,
+    "modern": _emphasis_modern,
 }
 
 

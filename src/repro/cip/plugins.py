@@ -51,8 +51,14 @@ class PropagationStatus(enum.Enum):
 
 @dataclass
 class PropagationResult:
+    """``conflict`` (only meaningful with INFEASIBLE status) names the
+    variable indices whose current local bounds witnessed the
+    infeasibility — the seed set conflict analysis resolves backwards
+    from.  Empty means the propagator cannot localize the cause."""
+
     status: PropagationStatus = PropagationStatus.UNCHANGED
     tightenings: int = 0
+    conflict: tuple[int, ...] = ()
 
 
 class RelaxationStatus(enum.Enum):
@@ -89,10 +95,23 @@ class ChildSpec:
 
 
 class Plugin:
-    """Common base: plugins have a name and a priority (higher runs first)."""
+    """Common base: plugins have a name and a priority (higher runs first).
+
+    Every subclass that declares a ``name`` class attribute is recorded
+    in the plugin-name catalog at class-definition time, which is what
+    lets :class:`~repro.cip.params.ParamSet` validate whitelists against
+    real names instead of silently disabling everything on a typo.
+    """
 
     name: str = "plugin"
     priority: int = 0
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if "name" in cls.__dict__:
+            from repro.cip.registry import note_plugin_name
+
+            note_plugin_name(cls.__dict__["name"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r} prio={self.priority}>"

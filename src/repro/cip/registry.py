@@ -1,0 +1,288 @@
+"""Ordered plugin registry — the refactored spine of the CIP kernel.
+
+Historically :class:`~repro.cip.solver.CIPSolver` held one plain python
+list per plugin kind.  That shape cannot express what a modern kernel
+needs: deterministic ordering with *position hooks* (a conflict-pool
+propagator must consult learned clauses before the generic propagators
+re-derive them), per-kind whitelists that UG racing varies per rank
+(generalizing the PR-9 ``heuristic_portfolio``), and quarantine-aware
+iteration so containment lives in one place instead of at every call
+site.
+
+The registry stores, per kind, an ordered list of entries sorted by
+``(position, -priority, registration tick)`` — ``position="front"``
+entries run before everything, ``"back"`` after everything, and plain
+registrations order by plugin priority with registration order as the
+deterministic tie-break (matching the old ``sort(key=-priority)``
+stable-sort behaviour exactly).
+
+:class:`KindView` keeps the historical mutable attributes
+(``solver.heuristics.append(...)``, ``solver.branching_rules.clear()``)
+working: it is a live list-like view backed by the registry.
+
+The module also owns the **plugin-name catalog**: every concrete
+:class:`~repro.cip.plugins.Plugin` subclass that declares a ``name``
+class attribute is recorded at class-definition time (via
+``Plugin.__init_subclass__``), and :func:`validate_plugin_names` checks
+user-supplied whitelists against it so a typo fails at ``ParamSet``
+construction instead of silently disabling every plugin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.exceptions import ModelError, PluginError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cip.plugins import Plugin, Relaxator
+    from repro.cip.quarantine import PluginQuarantine
+
+#: every plugin kind the kernel iterates; "relaxator" is a singleton slot
+PLUGIN_KINDS = (
+    "presolver",
+    "propagator",
+    "separator",
+    "heuristic",
+    "branching",
+    "conshdlr",
+    "event",
+    "relaxator",
+)
+
+#: kinds a ParamSet whitelist may restrict.  Constraint handlers and the
+#: relaxator are deliberately excluded: they own feasibility (``check``)
+#: and bounding semantics, so filtering them out would silently change
+#: what problem is being solved.
+WHITELISTABLE_KINDS = ("presolver", "propagator", "separator", "heuristic", "branching", "event")
+
+_POSITION_RANK = {"front": 0, None: 1, "back": 2}
+
+
+# -- plugin-name catalog ----------------------------------------------------
+
+_KNOWN_PLUGIN_NAMES: set[str] = set()
+_CATALOG_LOADED = False
+
+#: modules whose import registers every first-party plugin class with the
+#: catalog (via ``Plugin.__init_subclass__``); imported lazily the first
+#: time a whitelist needs validating, so plain kernel use pays nothing
+_CATALOG_MODULES = (
+    "repro.cip.propagation",
+    "repro.cip.branching",
+    "repro.cip.heuristics",
+    "repro.cip.conflict",
+    "repro.cip.symmetry",
+    "repro.steiner.branching",
+    "repro.steiner.solver",
+    "repro.steiner.separators",
+    "repro.steiner.prize_collecting",
+    "repro.sdp.eigcuts",
+    "repro.sdp.branching",
+    "repro.sdp.propagators",
+    "repro.sdp.relaxator",
+    "repro.sdp.heuristics",
+)
+
+
+def note_plugin_name(name: object) -> None:
+    """Record a plugin name in the catalog (called from class creation)."""
+    if isinstance(name, str) and name and name != "plugin":
+        _KNOWN_PLUGIN_NAMES.add(name)
+
+
+def ensure_plugin_catalog() -> None:
+    """Import the first-party plugin modules once so the catalog is full."""
+    global _CATALOG_LOADED
+    if _CATALOG_LOADED:
+        return
+    _CATALOG_LOADED = True
+    import importlib
+
+    for mod in _CATALOG_MODULES:
+        try:
+            importlib.import_module(mod)
+        except ImportError:  # pragma: no cover - optional app module absent
+            pass
+
+
+def known_plugin_names() -> frozenset[str]:
+    ensure_plugin_catalog()
+    return frozenset(_KNOWN_PLUGIN_NAMES)
+
+
+def validate_plugin_names(names: Iterable[str], where: str) -> None:
+    """Raise :class:`ModelError` when a name is not in the catalog.
+
+    The catalog is populated from class definitions, so any imported
+    ``Plugin`` subclass with a ``name`` class attribute — first-party or
+    test-local — validates.  Dynamically named instances must register
+    their name via :func:`note_plugin_name` before a ``ParamSet``
+    whitelists them.
+    """
+    ensure_plugin_catalog()
+    unknown = sorted({str(n) for n in names} - _KNOWN_PLUGIN_NAMES)
+    if unknown:
+        raise ModelError(
+            f"{where} names unknown plugin(s) {unknown}; known plugins: "
+            f"{sorted(_KNOWN_PLUGIN_NAMES)}"
+        )
+
+
+# -- the registry -----------------------------------------------------------
+
+
+@dataclass
+class _Entry:
+    plugin: "Plugin"
+    position: str | None
+    tick: int
+
+    def sort_key(self) -> tuple[int, int, int]:
+        return (_POSITION_RANK[self.position], -self.plugin.priority, self.tick)
+
+
+class PluginRegistry:
+    """Ordered, kind-partitioned plugin store with filtered iteration."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, list[_Entry]] = {kind: [] for kind in PLUGIN_KINDS}
+        self._tick = 0
+
+    @staticmethod
+    def _check_kind(kind: str) -> None:
+        if kind not in PLUGIN_KINDS:
+            raise PluginError(f"unknown plugin kind {kind!r}; choose from {PLUGIN_KINDS}")
+
+    def register(self, kind: str, plugin: "Plugin", position: str | None = None) -> None:
+        """Add one plugin; ordering is (position, -priority, arrival)."""
+        self._check_kind(kind)
+        if position not in _POSITION_RANK:
+            raise PluginError(f"unknown position {position!r}; use 'front', 'back' or None")
+        entries = self._entries[kind]
+        if any(e.plugin.name == plugin.name for e in entries):
+            raise PluginError(f"plugin {plugin.name!r} registered twice")
+        if kind == "relaxator" and entries:
+            raise PluginError("a relaxator is already installed")
+        note_plugin_name(getattr(plugin, "name", None))
+        entries.append(_Entry(plugin, position, self._tick))
+        self._tick += 1
+        entries.sort(key=_Entry.sort_key)
+
+    def remove(self, kind: str, name: str) -> bool:
+        """Drop the named plugin; True when something was removed."""
+        self._check_kind(kind)
+        entries = self._entries[kind]
+        kept = [e for e in entries if e.plugin.name != name]
+        removed = len(kept) != len(entries)
+        self._entries[kind] = kept
+        return removed
+
+    def clear(self, kind: str) -> None:
+        self._check_kind(kind)
+        self._entries[kind] = []
+
+    def plugins(self, kind: str) -> list["Plugin"]:
+        """All plugins of a kind in execution order (no filtering)."""
+        self._check_kind(kind)
+        return [e.plugin for e in self._entries[kind]]
+
+    def get(self, kind: str, name: str) -> "Plugin | None":
+        self._check_kind(kind)
+        for e in self._entries[kind]:
+            if e.plugin.name == name:
+                return e.plugin
+        return None
+
+    def names(self, kind: str) -> tuple[str, ...]:
+        return tuple(p.name for p in self.plugins(kind))
+
+    @property
+    def relaxator(self) -> "Relaxator | None":
+        entries = self._entries["relaxator"]
+        return entries[0].plugin if entries else None  # type: ignore[return-value]
+
+    def active(
+        self,
+        kind: str,
+        quarantine: "PluginQuarantine | None" = None,
+        whitelist: Sequence[str] | None = None,
+    ) -> list["Plugin"]:
+        """Execution-ordered plugins surviving whitelist + quarantine.
+
+        ``whitelist=None`` means "no restriction"; an empty sequence
+        disables the whole kind (matching ``heuristic_portfolio``
+        semantics).
+        """
+        out = []
+        for plugin in self.plugins(kind):
+            if whitelist is not None and plugin.name not in whitelist:
+                continue
+            if quarantine is not None and quarantine.is_quarantined(plugin.name):
+                continue
+            out.append(plugin)
+        return out
+
+    def spec(self) -> dict[str, list[str]]:
+        """Wire-codec-safe description: kind -> ordered plugin names.
+
+        Plain dict of lists of strings, so it passes through the UG JSON
+        wire codec untouched — the LoadCoordinator traces each rank's
+        effective plugin composition from this.
+        """
+        return {kind: list(self.names(kind)) for kind in PLUGIN_KINDS if self._entries[kind]}
+
+
+class KindView:
+    """Live list-like view of one registry kind (back-compat surface).
+
+    Historical call sites treat ``solver.heuristics`` & co. as plain
+    lists: they ``append``/``extend``/``clear``/iterate/index them.  This
+    view forwards all of that to the registry so there is exactly one
+    source of truth for ordering and duplicates.
+    """
+
+    __slots__ = ("_registry", "_kind")
+
+    def __init__(self, registry: PluginRegistry, kind: str) -> None:
+        self._registry = registry
+        self._kind = kind
+
+    def append(self, plugin: "Plugin") -> None:
+        self._registry.register(self._kind, plugin)
+
+    def extend(self, plugins: Iterable["Plugin"]) -> None:
+        for p in plugins:
+            self.append(p)
+
+    def insert(self, index: int, plugin: "Plugin") -> None:
+        # registry order is semantic, not positional: front/back hooks are
+        # the supported way to force placement
+        self._registry.register(self._kind, plugin, position="front" if index == 0 else None)
+
+    def remove(self, plugin: "Plugin") -> None:
+        if not self._registry.remove(self._kind, plugin.name):
+            raise ValueError(f"{plugin.name!r} not registered")
+
+    def clear(self) -> None:
+        self._registry.clear(self._kind)
+
+    def __iter__(self) -> Iterator["Plugin"]:
+        return iter(self._registry.plugins(self._kind))
+
+    def __len__(self) -> int:
+        return len(self._registry.plugins(self._kind))
+
+    def __getitem__(self, index):
+        return self._registry.plugins(self._kind)[index]
+
+    def __contains__(self, plugin: object) -> bool:
+        plugins = self._registry.plugins(self._kind)
+        return plugin in plugins or any(getattr(plugin, "name", None) == p.name for p in plugins)
+
+    def __bool__(self) -> bool:
+        return bool(self._registry.plugins(self._kind))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KindView {self._kind}: {list(self._registry.names(self._kind))}>"

@@ -23,7 +23,9 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.cip.conflict import ConflictAnalyzer, ConflictPropagator
 from repro.cip.cutpool import CutPool
+from repro.cip.estimate import RestartManager, TreeSizeEstimator
 from repro.cip.model import Model
 from repro.cip.node import Node
 from repro.cip.params import ParamSet
@@ -43,7 +45,14 @@ from repro.cip.plugins import (
     Separator,
 )
 from repro.cip.quarantine import EssentialPluginFailure, PluginQuarantine
+from repro.cip.registry import KindView, PluginRegistry
 from repro.cip.result import SolveResult, SolveStats, SolveStatus, Solution
+from repro.cip.symmetry import (
+    LexSymmetryPropagator,
+    OrbitalFixingPropagator,
+    SymmetryInfo,
+    find_generators,
+)
 from repro.cip.tree import NodeTree
 from repro.exceptions import PluginError
 from repro.lp import LinearProgram, LPSolution, LPStatus, RobustLPSolver, solve_lp
@@ -80,14 +89,17 @@ class CIPSolver:
         self.params = params or ParamSet()
         self.tol = tol
 
-        self.presolvers: list[Presolver] = []
-        self.propagators: list[Propagator] = []
-        self.separators: list[Separator] = []
-        self.heuristics: list[Heuristic] = []
-        self.branching_rules: list[BranchingRule] = []
-        self.conshdlrs: list[ConstraintHandler] = []
-        self.event_handlers: list[EventHandler] = []
-        self.relaxator: Relaxator | None = None
+        # ordered plugin registry; the per-kind attributes are live
+        # list-like views kept for the historical mutation surface
+        # (tests and apps append/extend/clear them directly)
+        self.registry = PluginRegistry()
+        self.presolvers = KindView(self.registry, "presolver")
+        self.propagators = KindView(self.registry, "propagator")
+        self.separators = KindView(self.registry, "separator")
+        self.heuristics = KindView(self.registry, "heuristic")
+        self.branching_rules = KindView(self.registry, "branching")
+        self.conshdlrs = KindView(self.registry, "conshdlr")
+        self.event_handlers = KindView(self.registry, "event")
 
         self.stats = SolveStats()
         self.cutpool = CutPool()
@@ -119,39 +131,65 @@ class CIPSolver:
         self._processed_any = False
         self._root_processed = False
 
+        # -- modern kernel subsystems (all inert unless enabled in params)
+        self.conflict: ConflictAnalyzer | None = None
+        if self.params.conflict_analysis:
+            self.conflict = ConflictAnalyzer(
+                model, self.params.conflict_pool_size, self.params.conflict_max_literals
+            )
+            # front of the propagator order: learned clauses prune before
+            # the arithmetic propagators re-derive the same dead ends
+            self.registry.register("propagator", ConflictPropagator(self.conflict), position="front")
+        self.symmetry: SymmetryInfo | None = None
+        self._symmetry_done = False
+        self.estimator = TreeSizeEstimator()
+        self._restart_mgr = RestartManager(
+            self.params.restart_max if self.params.restarts else 0,
+            self.params.restart_min_nodes,
+            self.params.restart_node_factor,
+        )
+        self._nodes_at_tree_start = 0
+        self._root_tightenings: dict[int, tuple[float, float]] = {}
+        self._setup_args: tuple[dict[int, tuple[float, float]], dict[str, Any], float] = ({}, {}, -math.inf)
+
     # -- plugin registration ------------------------------------------------
 
-    def _include(self, plugin_list: list, plugin: Plugin) -> None:
-        if any(p.name == plugin.name for p in plugin_list):
-            raise PluginError(f"plugin {plugin.name!r} registered twice")
-        plugin_list.append(plugin)
-        plugin_list.sort(key=lambda p: -p.priority)
+    def include_presolver(self, p: Presolver, position: str | None = None) -> None:
+        self.registry.register("presolver", p, position)
 
-    def include_presolver(self, p: Presolver) -> None:
-        self._include(self.presolvers, p)
+    def include_propagator(self, p: Propagator, position: str | None = None) -> None:
+        self.registry.register("propagator", p, position)
 
-    def include_propagator(self, p: Propagator) -> None:
-        self._include(self.propagators, p)
+    def include_separator(self, p: Separator, position: str | None = None) -> None:
+        self.registry.register("separator", p, position)
 
-    def include_separator(self, p: Separator) -> None:
-        self._include(self.separators, p)
+    def include_heuristic(self, p: Heuristic, position: str | None = None) -> None:
+        self.registry.register("heuristic", p, position)
 
-    def include_heuristic(self, p: Heuristic) -> None:
-        self._include(self.heuristics, p)
+    def include_branching_rule(self, p: BranchingRule, position: str | None = None) -> None:
+        self.registry.register("branching", p, position)
 
-    def include_branching_rule(self, p: BranchingRule) -> None:
-        self._include(self.branching_rules, p)
+    def include_constraint_handler(self, p: ConstraintHandler, position: str | None = None) -> None:
+        self.registry.register("conshdlr", p, position)
 
-    def include_constraint_handler(self, p: ConstraintHandler) -> None:
-        self._include(self.conshdlrs, p)
-
-    def include_event_handler(self, p: EventHandler) -> None:
-        self._include(self.event_handlers, p)
+    def include_event_handler(self, p: EventHandler, position: str | None = None) -> None:
+        self.registry.register("event", p, position)
 
     def set_relaxator(self, r: Relaxator) -> None:
-        if self.relaxator is not None:
-            raise PluginError("a relaxator is already installed")
-        self.relaxator = r
+        self.registry.register("relaxator", r)
+
+    @property
+    def relaxator(self) -> Relaxator | None:
+        return self.registry.relaxator
+
+    def _active(self, kind: str) -> list[Plugin]:
+        """Plugins of a kind surviving the ParamSet whitelist, in order.
+
+        Quarantine is *not* filtered here: call sites keep their own
+        containment semantics (``_guarded`` skips, branching counts
+        quarantined rules as failed for essential-failure detection).
+        """
+        return self.registry.active(kind, whitelist=self.params.whitelist_for(kind))
 
     # -- robustness layer ---------------------------------------------------
 
@@ -293,7 +331,7 @@ class CIPSolver:
         total = 0
         for _round in range(20):
             round_reductions = 0
-            for pre in self.presolvers:
+            for pre in self._active("presolver"):
                 round_reductions += self._guarded(pre, "presolve", 0, lambda p=pre: p.presolve(self))
             total += round_reductions
             if round_reductions == 0:
@@ -337,7 +375,7 @@ class CIPSolver:
         self._emit("bb_incumbent", value=value, source="solution")
         if self._tree is not None:
             self.stats.nodes_pruned += self._tree.prune_worse_than(self.cutoff_bound)
-        for ev in self.event_handlers:
+        for ev in self._active("event"):
             self._guarded(ev, "on_new_incumbent", None, lambda e=ev: e.on_new_incumbent(self, value, data))
         return True
 
@@ -355,21 +393,30 @@ class CIPSolver:
         assert self._local_lb is not None and self._local_ub is not None
         return float(self._local_lb[j]), float(self._local_ub[j])
 
-    def tighten_lb(self, j: int, value: float) -> bool:
-        """Raise the local lower bound of variable ``j``; True if changed."""
+    def tighten_lb(self, j: int, value: float, reason: tuple[int, ...] | None = None) -> bool:
+        """Raise the local lower bound of variable ``j``; True if changed.
+
+        ``reason`` names the variables whose bounds implied this
+        tightening (for conflict analysis); None marks the tightening
+        *opaque* — conflicts needing it as an antecedent are abandoned.
+        """
         assert self._local_lb is not None
         if value > self._local_lb[j] + self.tol.eps:
             self._local_lb[j] = value
             self.stats.propagation_tightenings += 1
+            if self.conflict is not None:
+                self.conflict.note_tightening(j, "lb", value, reason)
             return True
         return False
 
-    def tighten_ub(self, j: int, value: float) -> bool:
+    def tighten_ub(self, j: int, value: float, reason: tuple[int, ...] | None = None) -> bool:
         """Lower the local upper bound of variable ``j``; True if changed."""
         assert self._local_ub is not None
         if value < self._local_ub[j] - self.tol.eps:
             self._local_ub[j] = value
             self.stats.propagation_tightenings += 1
+            if self.conflict is not None:
+                self.conflict.note_tightening(j, "ub", value, reason)
             return True
         return False
 
@@ -392,6 +439,8 @@ class CIPSolver:
         """
         if not self._presolved:
             self.presolve()
+        self._setup_symmetry()
+        self._setup_args = (dict(root_bounds or {}), dict(root_local_data or {}), root_estimate)
         self._tree = NodeTree(self.params.node_selection)
         root = Node(0, -1, 0, root_estimate, dict(root_bounds or {}), dict(root_local_data or {}))
         self._node_counter = 1
@@ -399,6 +448,50 @@ class CIPSolver:
         self.stats.nodes_created += 1  # the root, counted once per tree
         self._processed_any = False
         self._root_processed = False
+        self._root_tightenings = {}
+        self._nodes_at_tree_start = self.stats.nodes_processed
+        self.estimator.reset()
+        if self.tracer.enabled:
+            self._emit("plugin_spec", spec=self.registry.spec())
+
+    def _setup_symmetry(self) -> None:
+        """Detect formulation symmetry once (post-presolve) and install
+        the reduction propagator for the configured mode.
+
+        Gated to purely linear models: a constraint handler or relaxator
+        owns constraints the variable/constraint graph cannot see, so
+        generators found there would not be model symmetries at all.
+        Detection is deterministic (no RNG), so every rank of a UG run
+        derives the identical generator set — the soundness condition
+        for applying symmetry reductions under racing.
+        """
+        if self.params.symmetry_mode == "off" or self._symmetry_done:
+            return
+        self._symmetry_done = True
+        if self.registry.plugins("conshdlr") or self.relaxator is not None:
+            self._emit("symmetry_skipped", reason="nonlinear_plugins")
+            return
+        info = find_generators(
+            self.model, max_generators=self.params.symmetry_max_generators
+        )
+        self.symmetry = info
+        if not info.nontrivial:
+            self._emit("symmetry_skipped", reason="no_generators")
+            return
+        prop: Propagator
+        if self.params.symmetry_mode == "orbital":
+            prop = OrbitalFixingPropagator(info, self.model)
+        else:
+            prop = LexSymmetryPropagator(info, self.model)
+        self.registry.register("propagator", prop)
+        self.stats.bump("symmetry_generators", len(info.generators))
+        self.metrics.inc("symmetry_generators", len(info.generators))
+        self._emit(
+            "symmetry_detected",
+            mode=self.params.symmetry_mode,
+            generators=len(info.generators),
+            orbits=len(info.orbits),
+        )
 
     def n_open(self) -> int:
         return 0 if self._tree is None else len(self._tree)
@@ -451,6 +544,72 @@ class CIPSolver:
         self._node_counter += 1
         self._tree.push(node)
 
+    # -- estimation-driven restarts -----------------------------------------
+
+    def _capture_root_tightenings(self, root: Node) -> None:
+        """Record globally valid bound tightenings proven at the root.
+
+        A restart re-creates the root with these merged in, so root
+        propagation/conflict/lex reductions are not re-derived and — more
+        importantly — are not *lost* when the tree is discarded.
+        """
+        if self._local_lb is None or self._local_ub is None:
+            return
+        tight: dict[int, tuple[float, float]] = {}
+        for j, v in enumerate(self.model.variables):
+            lo0, hi0 = v.lb, v.ub
+            if j in root.bound_changes:
+                slo, shi = root.bound_changes[j]
+                lo0, hi0 = max(lo0, slo), min(hi0, shi)
+            lo, hi = float(self._local_lb[j]), float(self._local_ub[j])
+            if lo > lo0 + self.tol.eps or hi < hi0 - self.tol.eps:
+                tight[j] = (lo, hi)
+        self._root_tightenings = tight
+
+    def _restart(self) -> None:
+        """In-solve root restart: discard the tree, keep the knowledge.
+
+        Carried across the restart: the incumbent, the global cut pool,
+        the learned-conflict pool, root bound tightenings, and the proven
+        global dual bound (installed as the fresh root's lower bound so
+        the reported bound never regresses).  The fresh root reuses node
+        id 0 at depth 0 — the tree auditor treats that as a tree reset,
+        exactly as it does for UG subproblem handoffs.
+        """
+        assert self._tree is not None
+        self._restart_mgr.note_restart()
+        carried_bound = self.dual_bound()
+        root_bounds, root_local_data, root_estimate = self._setup_args
+        merged = dict(root_bounds)
+        for j, (lo, hi) in self._root_tightenings.items():
+            if j in merged:
+                olo, ohi = merged[j]
+                merged[j] = (max(olo, lo), min(ohi, hi))
+            else:
+                merged[j] = (lo, hi)
+        est = root_estimate
+        if math.isfinite(carried_bound):
+            est = max(est, carried_bound)
+        self.stats.bump("restarts")
+        self.metrics.inc("kernel_restarts")
+        self._emit(
+            "restart",
+            number=self._restart_mgr.done,
+            nodes_processed=self.stats.nodes_processed - self._nodes_at_tree_start,
+            open_nodes=len(self._tree),
+            bound=carried_bound,
+            conflicts=0 if self.conflict is None else len(self.conflict.pool),
+            tightenings=len(self._root_tightenings),
+        )
+        self._tree = NodeTree(self.params.node_selection)
+        root = Node(0, -1, 0, est, merged, dict(root_local_data))
+        self._node_counter = 1
+        self._tree.push(root)
+        self.stats.nodes_created += 1
+        self._root_processed = False
+        self._nodes_at_tree_start = self.stats.nodes_processed
+        self.estimator.reset()
+
     # -- the step API -----------------------------------------------------------
 
     def step(self) -> StepOutcome:
@@ -469,6 +628,7 @@ class CIPSolver:
             node = self._tree.pop()
             if node.lower_bound >= cutoff:
                 self.stats.nodes_pruned += 1
+                self.estimator.observe_leaf(node.depth)
                 self._emit_bb_node(node, node.lower_bound, "pruned_bound", 0, None, cutoff, False)
                 continue
             break
@@ -490,12 +650,17 @@ class CIPSolver:
         self.stats.nodes_processed += 1
         self.stats.total_work += work
         outcome, n_children, sol_value = self._node_outcome
+        if outcome == "branched" and n_children > 0:
+            self.estimator.observe_internal(node.depth)
+        else:
+            self.estimator.observe_leaf(node.depth)
         # cutoff re-read after processing: mid-node incumbents tighten it,
         # and the last prune decision inside the node used the live value
         self._emit_bb_node(node, bound_in, outcome, n_children, sol_value, self.cutoff_bound, True)
         if is_root:
             self.stats.root_work = work
             self.stats.root_bound = self.dual_bound()
+            self._capture_root_tightenings(node)
         if self.incumbent is not incumbent_before:
             new_solution = self.incumbent
 
@@ -509,6 +674,10 @@ class CIPSolver:
             gap = self.tol.rel_gap(self.incumbent.value, self.dual_bound())
             if gap <= self.params.gap_limit:
                 return StepOutcome(True, SolveStatus.GAP_LIMIT, work, new_solution)
+        if self._restart_mgr.should_restart(
+            self.estimator, self.stats.nodes_processed - self._nodes_at_tree_start
+        ):
+            self._restart()
         return StepOutcome(False, SolveStatus.UNKNOWN, work, new_solution)
 
     # -- node processing internals -----------------------------------------
@@ -522,7 +691,40 @@ class CIPSolver:
                 continue
             self._local_lb[j] = max(self._local_lb[j], lo)
             self._local_ub[j] = min(self._local_ub[j], hi)
-        return bool(np.all(self._local_lb <= self._local_ub + self.tol.feas))
+        if self.conflict is not None:
+            # conflict learning is sound only at nodes whose infeasibility
+            # proofs use globally valid facts: local rows/data would smuggle
+            # subtree-only constraints into a "global" clause
+            self.conflict.begin_node(node, not node.local_data and not node.local_rows)
+        clashes = np.flatnonzero(self._local_lb > self._local_ub + self.tol.feas)
+        if clashes.size:
+            self._learn_conflict(tuple(int(j) for j in clashes))
+            return False
+        return True
+
+    def _learn_conflict(self, seed: tuple[int, ...]) -> None:
+        """Resolve an infeasibility seed to a learned clause (if sound)."""
+        if self.conflict is None or not seed:
+            return
+        clause = self.conflict.analyze(seed)
+        if clause is not None:
+            self.stats.bump("conflicts_learned")
+            self.metrics.inc("conflicts_learned")
+            self._emit("conflict_learned", literals=len(clause.lits), source="propagation")
+        else:
+            self.stats.bump("conflicts_abandoned")
+
+    def _learn_lp_conflict(self) -> None:
+        """Learn the all-decision no-good from an exact-LP infeasibility."""
+        if self.conflict is None:
+            return
+        clause = self.conflict.analyze_all_decisions()
+        if clause is not None:
+            self.stats.bump("conflicts_learned")
+            self.metrics.inc("conflicts_learned")
+            self._emit("conflict_learned", literals=len(clause.lits), source="lp")
+        else:
+            self.stats.bump("conflicts_abandoned")
 
     def _propagate(self, node: Node) -> PropagationStatus:
         if not self.params.propagation:
@@ -530,11 +732,12 @@ class CIPSolver:
         overall = PropagationStatus.UNCHANGED
         for _round in range(5):
             changed = False
-            for prop in self.propagators:
+            for prop in self._active("propagator"):
                 res = self._guarded(
                     prop, "propagate", PropagationResult(), lambda p=prop: p.propagate(self, node)
                 )
                 if res.status is PropagationStatus.INFEASIBLE:
+                    self._learn_conflict(res.conflict)
                     return PropagationStatus.INFEASIBLE
                 if res.status is PropagationStatus.REDUCED:
                     changed = True
@@ -543,6 +746,7 @@ class CIPSolver:
                     h, "propagate", PropagationResult(), lambda p=h: p.propagate(self, node)
                 )
                 if res.status is PropagationStatus.INFEASIBLE:
+                    self._learn_conflict(res.conflict)
                     return PropagationStatus.INFEASIBLE
                 if res.status is PropagationStatus.REDUCED:
                     changed = True
@@ -551,7 +755,9 @@ class CIPSolver:
             else:
                 break
             assert self._local_lb is not None and self._local_ub is not None
-            if np.any(self._local_lb > self._local_ub + self.tol.feas):
+            clashes = np.flatnonzero(self._local_lb > self._local_ub + self.tol.feas)
+            if clashes.size:
+                self._learn_conflict(tuple(int(j) for j in clashes))
                 return PropagationStatus.INFEASIBLE
         return overall
 
@@ -590,6 +796,9 @@ class CIPSolver:
         self.stats.lp_iterations += sol.iterations
         work = WORK_PER_LP_ITER * max(sol.iterations, 1)
         if sol.status is LPStatus.INFEASIBLE:
+            # exact-LP path only: a plugin relaxator's INFEASIBLE answer
+            # may be heuristic, so nothing is learned on that branch above
+            self._learn_lp_conflict()
             return RelaxationResult(RelaxationStatus.INFEASIBLE, math.inf, None, work)
         if sol.status is LPStatus.UNBOUNDED:
             return RelaxationResult(RelaxationStatus.UNBOUNDED, -math.inf, None, work)
@@ -610,7 +819,7 @@ class CIPSolver:
         added = 0
         work = 0.0
         budget = self.params.max_cuts_per_round
-        for plugin in list(self.conshdlrs) + list(self.separators):
+        for plugin in list(self.conshdlrs) + self._active("separator"):
             if added >= budget:
                 break
             sep = getattr(plugin, "separate", None)
@@ -661,14 +870,11 @@ class CIPSolver:
         if self.budget.time_exceeded():
             self._note_budget_stop("heuristics")
             return
-        portfolio = self.params.heuristic_portfolio
-        for heur in self.heuristics:
-            if portfolio is not None and heur.name not in portfolio:
-                continue
+        for heur in self._active("heuristic"):
             self._guarded(heur, "run", None, lambda h=heur: h.run(self, node, x))
 
     def _branch(self, node: Node, x: np.ndarray | None) -> int:
-        rules = self.branching_rules
+        rules = self._active("branching")
         if self.params.branching_rule:
             rules = [r for r in rules if r.name == self.params.branching_rule] or rules
         failed = 0
@@ -758,7 +964,7 @@ class CIPSolver:
                 # tailing off: keep the cuts but stop re-solving
                 break
 
-        for ev in self.event_handlers:
+        for ev in self._active("event"):
             self._guarded(ev, "on_node_solved", None, lambda e=ev: e.on_node_solved(self, node, bound))
 
         if x is not None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import dataclasses
 import json
 import threading
 import time
@@ -78,6 +79,7 @@ class ServeStatistics:
     cache_inserts: int = 0
     cache_insert_rejected: int = 0
     cache_evictions: int = 0
+    cache_translation_failed: int = 0  # canonical entry unmappable onto the query
     verify_refusals: int = 0  # answers refused by the certificate check
     journal_torn_bytes: int = 0  # torn-tail bytes dropped during recovery
     stream_events_sent: int = 0
@@ -261,9 +263,11 @@ class ServeDaemon:
         except InvalidJobError:
             self.metrics.inc("jobs_rejected_invalid")
             raise
-        fingerprint = runner.instance_fingerprint(request.kind, instance)
+        fingerprint, labeling = runner.instance_cache_key(request.kind, instance)
         job_id = uuid.uuid4().hex[:12]
         cached = self.cache.lookup(fingerprint)
+        if cached is not None and request.kind == "stp":
+            cached = self._translate_cached_stp(cached, instance, labeling)
         if cached is not None:
             cached.detail = f"served from cache ({cached.detail})"
             record = JobRecord(
@@ -300,6 +304,33 @@ class ServeDaemon:
         if self._kick is not None:
             self._kick.set()
         return record.public_view()
+
+    def _translate_cached_stp(
+        self, cached: JobOutcome, instance: Any, labeling: list[int] | None
+    ) -> JobOutcome | None:
+        """Rewrite a cached STP solution into the query's own edge ids.
+
+        Canonical fingerprints match *isomorphic* instances, whose edge
+        ids differ — the stored solution is kept as relabeling-invariant
+        ``(u, v, cost)`` triples and mapped through the query instance's
+        canonical labeling here.  An untranslatable entry (no labeling,
+        or a triple with no matching edge) is treated as a miss rather
+        than served wrong.
+        """
+        sol = cached.solution
+        if not (isinstance(sol, dict) and "stp_canonical" in sol):
+            return cached  # structural-fingerprint entry: ids are literal
+        if labeling is None:
+            self.metrics.inc("cache_translation_failed")
+            return None
+        edges = runner.stp_solution_from_canonical(
+            instance, labeling, sol["stp_canonical"]
+        )
+        if edges is None:
+            self.metrics.inc("cache_translation_failed")
+            return None
+        cached.solution = edges
+        return cached
 
     # -- scheduling + execution -------------------------------------------------
 
@@ -386,10 +417,24 @@ class ServeDaemon:
         if outcome.certified and outcome.solution is not None:
             instance = self._instances.get(record.job_id)
             if instance is not None:
-                fingerprint = runner.instance_fingerprint(record.request.kind, instance)
+                fingerprint, labeling = runner.instance_cache_key(
+                    record.request.kind, instance
+                )
+                stored = outcome
+                if record.request.kind == "stp" and labeling is not None:
+                    # store the solution in relabeling-invariant form so a
+                    # hit from an isomorphic instance can be translated
+                    stored = dataclasses.replace(
+                        outcome,
+                        solution={
+                            "stp_canonical": runner.stp_solution_to_canonical(
+                                instance, labeling, outcome.solution
+                            )
+                        },
+                    )
                 self.cache.insert(
                     fingerprint,
-                    outcome,
+                    stored,
                     lambda: runner.verify_certificate(
                         record.request.kind,
                         instance,

@@ -96,17 +96,116 @@ def build_instance(request: JobRequest) -> Any:
 
 # -- instance fingerprinting ----------------------------------------------------
 
+_CANON_BUDGET = 4000  # refinement steps for canonical labeling; exhaustion falls back
+_COST_ROUND = 9
 
-def instance_fingerprint(kind: str, instance: Any) -> str:
+
+def stp_canonical_labeling(instance: Any, budget: int = _CANON_BUDGET):
+    """Canonical (certificate, vertex labeling) of an STP instance, or None.
+
+    Vertices are colored by aliveness + terminal flag, edges labeled by
+    the sorted multiset of parallel-edge costs, and the colored graph is
+    run through :func:`repro.cip.symmetry.canonical_form`.  The
+    certificate is invariant under vertex relabeling, so two isomorphic
+    instances fingerprint equal; the labeling lets the daemon translate
+    a cached solution into the query instance's own edge ids.  Budget
+    exhaustion returns None and the caller falls back to the structural
+    (labeling-sensitive) fingerprint.
+    """
+    from repro.cip.symmetry import canonical_form, colored_graph
+
+    n = int(instance.n)
+    colors = []
+    for v in range(n):
+        if not bool(instance.vertex_alive[v]):
+            colors.append(("dead",))
+        else:
+            colors.append(("v", bool(instance.terminal_mask[v])))
+    pair_costs: dict[tuple[int, int], list[float]] = {}
+    for e in instance.edges:
+        if not e.alive:
+            continue
+        key = (min(int(e.u), int(e.v)), max(int(e.u), int(e.v)))
+        pair_costs.setdefault(key, []).append(round(float(e.cost), _COST_ROUND))
+    edges = [(u, v, tuple(sorted(costs))) for (u, v), costs in pair_costs.items()]
+    return canonical_form(colored_graph(n, colors, edges), budget=budget)
+
+
+def stp_solution_to_canonical(
+    instance: Any, labeling: list[int], edge_ids: Any
+) -> list[list[Any]]:
+    """Express a solution's edge ids as relabeling-invariant triples."""
+    pos = {v: i for i, v in enumerate(labeling)}
+    triples = []
+    for eid in edge_ids:
+        e = instance.edges[int(eid)]
+        cu, cv = pos[int(e.u)], pos[int(e.v)]
+        triples.append([min(cu, cv), max(cu, cv), round(float(e.cost), _COST_ROUND)])
+    return sorted(triples)
+
+
+def stp_solution_from_canonical(
+    instance: Any, labeling: list[int], triples: Any
+) -> list[int] | None:
+    """Map canonical triples onto this instance's edge ids, or None.
+
+    Parallel edges with equal cost are interchangeable (same endpoints,
+    same cost), so any one-to-one matching is valid; an unmatchable
+    triple means the instances were not isomorphic after all and the
+    caller must treat the lookup as a miss.
+    """
+    pos = {v: i for i, v in enumerate(labeling)}
+    buckets: dict[tuple[int, int, float], list[int]] = {}
+    for eid, e in enumerate(instance.edges):
+        if not e.alive:
+            continue
+        cu, cv = pos[int(e.u)], pos[int(e.v)]
+        key = (min(cu, cv), max(cu, cv), round(float(e.cost), _COST_ROUND))
+        buckets.setdefault(key, []).append(eid)
+    out = []
+    for t in triples:
+        key = (int(t[0]), int(t[1]), round(float(t[2]), _COST_ROUND))
+        bucket = buckets.get(key)
+        if not bucket:
+            return None
+        out.append(bucket.pop())
+    return out
+
+
+def instance_cache_key(kind: str, instance: Any) -> tuple[str, list[int] | None]:
+    """Fingerprint plus (for STP) the canonical labeling used to build it.
+
+    The labeling is ``None`` for MISDP instances and when the canonical
+    search exhausted its budget — in both cases the fingerprint is the
+    structural one and cached solutions need no translation.
+    """
+    if kind == "stp":
+        canon = stp_canonical_labeling(instance)
+        if canon is not None:
+            cert, labeling = canon
+            digest = hashlib.sha256(b"stp-canon:" + cert).hexdigest()
+            return digest, list(labeling)
+    return instance_fingerprint(kind, instance, _structural=True), None
+
+
+def instance_fingerprint(kind: str, instance: Any, _structural: bool = False) -> str:
     """Canonical content hash of a parsed instance.
 
     Two requests describing the same mathematical instance — whether
     shipped as literal STP text or as a generator spec — hash equal, so
-    the cache serves repeat queries instantly.  The encoding is
-    structural (sorted edge/terminal lists, full matrix entries), not
-    textual, so formatting differences cannot split cache entries.
+    the cache serves repeat queries instantly.  For STP the hash is
+    additionally *isomorphism-invariant*: the instance is canonically
+    labeled first (:func:`stp_canonical_labeling`), so a vertex-relabeled
+    copy of a cached instance is still a cache hit.  MISDP instances —
+    and STP instances whose canonical search exhausts its budget — use a
+    structural encoding (sorted edge/terminal lists, full matrix
+    entries), which is formatting-independent but labeling-sensitive.
     """
     if kind == "stp":
+        if not _structural:
+            canon = stp_canonical_labeling(instance)
+            if canon is not None:
+                return hashlib.sha256(b"stp-canon:" + canon[0]).hexdigest()
         doc = {
             "n": int(instance.n),
             "terminals": sorted(int(t) for t in instance.terminals),

@@ -1,0 +1,151 @@
+"""Single-commodity flow MIP formulation of the Steiner tree problem.
+
+This is the classical compact formulation: binary edge variables
+``y_e``, one pair of arc flow variables per edge, a root chosen as the
+smallest terminal that ships one unit of flow to every other terminal,
+and capacity coupling ``f_uv + f_vu <= (|T|-1) y_e``.  Any Steiner tree
+routes such a flow, and any feasible support connects the root to every
+terminal, so with positive edge costs the MIP optimum *is* the Steiner
+optimum and its support is a Steiner tree.
+
+The point of the formulation inside this repo is that it is **purely
+linear** — no constraint handler, no relaxator — which makes it the one
+Steiner path on which the kernel's symmetry machinery
+(:mod:`repro.cip.symmetry`) is allowed to run: graph automorphisms of
+the instance (e.g. the coordinate permutations of a parity-terminal
+hypercube) survive as formulation symmetries of this model.  The
+branch-and-cut solver in :mod:`repro.steiner.solver` remains the fast
+path; this module feeds the modern-kernel benchmarks and differential
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cip.mip import make_mip_solver
+from repro.cip.model import Model, VarType
+from repro.cip.params import ParamSet
+from repro.cip.result import SolveResult
+from repro.cip.solver import CIPSolver
+from repro.exceptions import ModelError
+from repro.steiner.graph import SteinerGraph
+from repro.steiner.union_find import UnionFind
+
+
+@dataclass
+class FlowMIP:
+    """A flow formulation plus the bookkeeping to read solutions back."""
+
+    model: Model
+    graph: SteinerGraph
+    root: int
+    edge_of_var: dict[int, int]  # y-variable index -> graph edge id
+    var_of_edge: dict[int, int]  # graph edge id -> y-variable index
+
+    def tree_edges(self, x: np.ndarray) -> list[int]:
+        """Edge ids of the Steiner tree encoded by a feasible solution.
+
+        The support of ``y`` connects the root to every terminal but may
+        carry cost-neutral extras (zero-cost cycles, dangling zero-cost
+        edges); drop cycle-closing edges and prune non-terminal leaves so
+        the result is always a tree.
+        """
+        chosen = []
+        uf = UnionFind(self.graph.n)
+        for j, eid in self.edge_of_var.items():
+            if x[j] >= 0.5:
+                u, v = self.graph.edge_endpoints(eid)
+                if uf.union(u, v):
+                    chosen.append(eid)
+        # iteratively prune leaves that are not terminals
+        degree: dict[int, int] = {}
+        incident: dict[int, list[int]] = {}
+        for eid in chosen:
+            for w in self.graph.edge_endpoints(eid):
+                degree[w] = degree.get(w, 0) + 1
+                incident.setdefault(w, []).append(eid)
+        alive = set(chosen)
+        changed = True
+        while changed:
+            changed = False
+            for w, eids in incident.items():
+                live = [e for e in eids if e in alive]
+                if len(live) == 1 and not self.graph.is_terminal(w):
+                    alive.discard(live[0])
+                    changed = True
+            incident = {
+                w: [e for e in eids if e in alive] for w, eids in incident.items()
+            }
+        return sorted(alive)
+
+
+def stp_flow_mip(graph: SteinerGraph) -> FlowMIP:
+    """Build the single-commodity flow MIP of a Steiner instance."""
+    terminals = [int(t) for t in graph.terminals]
+    if not terminals:
+        raise ModelError("flow formulation needs at least one terminal")
+    root = min(terminals)
+    demand = len(terminals) - 1  # units shipped out of the root
+    model = Model(name="stp_flow")
+    edge_of_var: dict[int, int] = {}
+    var_of_edge: dict[int, int] = {}
+    arc_in: dict[int, list[int]] = {v: [] for v in range(graph.n)}
+    arc_out: dict[int, list[int]] = {v: [] for v in range(graph.n)}
+    flow_vars: dict[int, tuple[int, int]] = {}  # edge id -> (f_uv, f_vu)
+    for eid in graph.alive_edges():
+        u, v = graph.edge_endpoints(eid)
+        y = model.add_variable(
+            f"y_{u}_{v}", VarType.BINARY, obj=graph.edge_cost(eid)
+        )
+        edge_of_var[y.index] = eid
+        var_of_edge[eid] = y.index
+        f_uv = model.add_variable(f"f_{u}_{v}", lb=0.0, ub=float(demand))
+        f_vu = model.add_variable(f"f_{v}_{u}", lb=0.0, ub=float(demand))
+        flow_vars[eid] = (f_uv.index, f_vu.index)
+        arc_out[u].append(f_uv.index)
+        arc_in[v].append(f_uv.index)
+        arc_out[v].append(f_vu.index)
+        arc_in[u].append(f_vu.index)
+        # capacity coupling: no flow unless the edge is bought
+        model.add_constraint(
+            {f_uv.index: 1.0, f_vu.index: 1.0, y.index: -float(demand)},
+            rhs=0.0,
+            name=f"cap_{u}_{v}",
+        )
+    term_set = set(terminals)
+    for v in np.flatnonzero(graph.vertex_alive):
+        v = int(v)
+        coefs: dict[int, float] = {}
+        for a in arc_in[v]:
+            coefs[a] = coefs.get(a, 0.0) + 1.0
+        for a in arc_out[v]:
+            coefs[a] = coefs.get(a, 0.0) - 1.0
+        if v == root:
+            balance = -float(demand)  # ships `demand` units out
+        elif v in term_set:
+            balance = 1.0  # absorbs one unit
+        else:
+            balance = 0.0
+        if not coefs:
+            if balance != 0.0:
+                raise ModelError(f"terminal {v} is isolated")
+            continue
+        model.add_constraint(coefs, lhs=balance, rhs=balance, name=f"bal_{v}")
+    model.obj_offset = graph.fixed_cost
+    return FlowMIP(model, graph, root, edge_of_var, var_of_edge)
+
+
+def solve_stp_flow(
+    graph: SteinerGraph, params: ParamSet | None = None
+) -> tuple[SolveResult, list[int], CIPSolver]:
+    """Solve an instance through the flow MIP; returns (result, tree, solver)."""
+    fm = stp_flow_mip(graph)
+    solver = make_mip_solver(fm.model, params)
+    result = solver.solve()
+    edges: list[int] = []
+    if result.best_solution is not None:
+        edges = fm.tree_edges(result.best_solution.x)
+    return result, edges, solver

@@ -1,0 +1,341 @@
+"""Modern kernel subsystem: conflict analysis, symmetry, restarts.
+
+Unit tests for the conflict analyzer/pool/propagator and the tree-size
+estimator; a brute-force property test for the symmetry detector (every
+found generator is a true model automorphism, found orbits refine the
+true orbits); differential sweeps of the full ``modern`` emphasis preset
+against the exhaustive oracles (SteinerSolver, flow MIP, both MISDP
+approaches); and traced integration runs showing (a) orbital fixing
+actually shrinks the tree on a symmetric instance and (b) an in-solve
+restart fires, is accounted for, and survives the trace audit plus the
+solution certificate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.cip.conflict import (
+    Clause,
+    ConflictAnalyzer,
+    ConflictPool,
+    ConflictPropagator,
+)
+from repro.cip.estimate import RestartManager, TreeSizeEstimator
+from repro.cip.mip import make_mip_solver
+from repro.cip.model import Model, VarType
+from repro.cip.node import Node
+from repro.cip.params import ParamSet, emphasis
+from repro.cip.plugins import PropagationStatus
+from repro.cip.symmetry import find_generators, is_model_automorphism, orbits_of
+from repro.instances import tiny_zoo
+from repro.instances.stp import hypercube
+from repro.obs.trace import Tracer
+from repro.sdp.solver import MISDPSolver
+from repro.steiner.milp import solve_stp_flow, stp_flow_mip
+from repro.steiner.solver import SteinerSolver
+from repro.verify import audit_cip_trace
+from repro.verify.differential import brute_force_misdp, brute_force_steiner
+from repro.verify.steiner import check_steiner_tree
+
+MODERN = emphasis("modern")
+
+
+def binary_model(n: int = 3) -> Model:
+    m = Model("toy")
+    for i in range(n):
+        m.add_variable(f"x{i}", VarType.BINARY)
+    return m
+
+
+@pytest.mark.fast
+class TestConflictPool:
+    def test_deduplicates_by_literal_set(self):
+        pool = ConflictPool(8)
+        assert pool.add(Clause(((0, 1), (2, 0))))
+        assert not pool.add(Clause(((0, 1), (2, 0))))
+        assert len(pool) == 1
+
+    def test_capacity_evicts_lowest_activity(self):
+        pool = ConflictPool(2)
+        a, b = Clause(((0, 1),)), Clause(((1, 1),))
+        pool.add(a)
+        pool.add(b)
+        pool.bump(a)  # b is now the least active clause
+        pool.add(Clause(((2, 1),)))
+        keys = {c.key() for c in pool}
+        assert a.key() in keys and b.key() not in keys
+        assert len(pool) == 2
+
+
+@pytest.mark.fast
+class TestConflictAnalyzer:
+    def _analyzer(self, n=3):
+        m = binary_model(n)
+        return ConflictAnalyzer(m, pool_size=16, max_literals=8)
+
+    def test_resolves_reasoned_tightening_to_decisions(self):
+        an = self._analyzer()
+        node = Node(1, 0, 2, 0.0, {0: (1.0, 1.0), 1: (0.0, 0.0)})
+        an.begin_node(node, enabled=True)
+        an.note_tightening(2, "ub", 0.0, reason=(0,))
+        clause = an.analyze([2, 1])
+        assert clause is not None
+        assert clause.lits == ((0, 1), (1, 0))
+        # same conflict again: deduplicated by the pool
+        assert an.analyze([2, 1]) is None
+
+    def test_opaque_antecedent_abandons_learning(self):
+        an = self._analyzer()
+        node = Node(1, 0, 1, 0.0, {0: (1.0, 1.0)})
+        an.begin_node(node, enabled=True)
+        an.note_tightening(2, "lb", 1.0, reason=None)  # e.g. orbital fixing
+        assert an.analyze([2]) is None
+        assert an.analyze_all_decisions() is None
+        assert len(an.pool) == 0
+
+    def test_all_decisions_clause_without_opaque_entries(self):
+        an = self._analyzer()
+        node = Node(1, 0, 2, 0.0, {0: (1.0, 1.0), 2: (0.0, 0.0)})
+        an.begin_node(node, enabled=True)
+        an.note_tightening(1, "ub", 0.0, reason=(0,))
+        clause = an.analyze_all_decisions()
+        assert clause is not None and clause.lits == ((0, 1), (2, 0))
+
+    def test_disabled_node_records_nothing(self):
+        an = self._analyzer()
+        an.begin_node(Node(1, 0, 1, 0.0, {0: (1.0, 1.0)}), enabled=False)
+        an.note_tightening(1, "ub", 0.0, reason=(0,))
+        assert an.analyze([1]) is None
+
+
+class _FakeStats:
+    def __init__(self):
+        self.counts = {}
+
+    def bump(self, key, by=1):
+        self.counts[key] = self.counts.get(key, 0) + by
+
+
+class _FakeSolver:
+    """Just enough CIPSolver surface for ConflictPropagator."""
+
+    def __init__(self, bounds):
+        self.bounds = dict(bounds)
+        self.tightened = []
+        self.stats = _FakeStats()
+
+    def local_bounds(self, j):
+        return self.bounds[j]
+
+    def tighten_ub(self, j, v, reason=None):
+        self.tightened.append(("ub", j, v, reason))
+        lo, hi = self.bounds[j]
+        self.bounds[j] = (lo, min(hi, v))
+        return True
+
+    def tighten_lb(self, j, v, reason=None):
+        self.tightened.append(("lb", j, v, reason))
+        lo, hi = self.bounds[j]
+        self.bounds[j] = (max(lo, v), hi)
+        return True
+
+
+@pytest.mark.fast
+class TestConflictPropagator:
+    def _prop(self):
+        an = ConflictAnalyzer(binary_model(3), pool_size=16, max_literals=8)
+        an.pool.add(Clause(((0, 1), (1, 1))))  # no-good: not (x0=1 and x1=1)
+        return ConflictPropagator(an)
+
+    def test_unit_clause_forces_last_literal(self):
+        prop = self._prop()
+        solver = _FakeSolver({0: (1.0, 1.0), 1: (0.0, 1.0), 2: (0.0, 1.0)})
+        out = prop.propagate(solver, None)
+        assert out.status is PropagationStatus.REDUCED
+        assert solver.tightened == [("ub", 1, 0.0, (0,))]
+
+    def test_falsified_clause_proves_infeasibility(self):
+        prop = self._prop()
+        solver = _FakeSolver({0: (1.0, 1.0), 1: (1.0, 1.0), 2: (0.0, 1.0)})
+        out = prop.propagate(solver, None)
+        assert out.status is PropagationStatus.INFEASIBLE
+        assert out.conflict == (0, 1)
+        assert solver.stats.counts.get("conflicts_applied") == 1
+
+    def test_satisfied_clause_is_skipped(self):
+        prop = self._prop()
+        solver = _FakeSolver({0: (0.0, 0.0), 1: (1.0, 1.0), 2: (0.0, 1.0)})
+        out = prop.propagate(solver, None)
+        assert out.status is PropagationStatus.UNCHANGED
+        assert not solver.tightened
+
+
+@pytest.mark.fast
+class TestTreeSizeEstimation:
+    def test_complete_tree_estimate_is_exact(self):
+        est = TreeSizeEstimator()
+        for _ in range(4):  # the 4 leaves of a complete depth-2 binary tree
+            est.observe_leaf(2)
+        assert est.estimate_total_leaves() == pytest.approx(4.0)
+        assert est.estimate_total_nodes() == pytest.approx(7.0)
+        assert est.progress() == pytest.approx(1.0)
+
+    def test_progress_projection(self):
+        est = TreeSizeEstimator()
+        est.observe_leaf(2)
+        est.observe_leaf(2)  # half the tree weight resolved
+        assert est.estimate_by_progress(5) == pytest.approx(10.0)
+        assert TreeSizeEstimator().estimate_by_progress(5) is None
+
+    def test_restart_uses_max_of_both_projections(self):
+        # best-first bias: shallow-leaf sample makes the frequency
+        # estimate lag low; the progress projection must still trigger.
+        est = TreeSizeEstimator()
+        for _ in range(3):
+            est.observe_leaf(5)  # freq: 2*32-1 = 63; progress: 10/(3/32) ~ 107
+        mgr = RestartManager(max_restarts=1, min_nodes=5, node_factor=8.0)
+        assert mgr.should_restart(est, 10)  # 107 >= 80 even though 63 < 80
+        mgr = RestartManager(max_restarts=1, min_nodes=5, node_factor=12.0)
+        assert not mgr.should_restart(est, 10)  # neither projection reaches 120
+
+    def test_restart_gates(self):
+        est = TreeSizeEstimator()
+        est.observe_leaf(10)
+        mgr = RestartManager(max_restarts=1, min_nodes=50, node_factor=1.0)
+        assert not mgr.should_restart(est, 10)  # below min_nodes
+        mgr = RestartManager(max_restarts=0, min_nodes=1, node_factor=1.0)
+        assert not mgr.should_restart(est, 10)  # budget exhausted
+        mgr = RestartManager(max_restarts=1, min_nodes=1, node_factor=1.0)
+        mgr.note_restart()
+        assert not mgr.should_restart(est, 10)
+
+
+def random_symmetric_model(seed: int) -> Model:
+    """Small random binary model with planted duplicate structure."""
+    rng = random.Random(seed)
+    n = rng.randint(4, 6)
+    m = Model(f"sym{seed}")
+    objs = [rng.choice([1.0, 2.0]) for _ in range(n)]
+    for i in range(n):
+        m.add_variable(f"x{i}", VarType.BINARY, obj=objs[i])
+    for _ in range(rng.randint(1, 3)):
+        size = rng.randint(2, n)
+        support = rng.sample(range(n), size)
+        coef = float(rng.choice([1, 2]))
+        m.add_constraint({j: coef for j in support}, rhs=float(rng.randint(1, size)))
+    return m
+
+
+@pytest.mark.fast
+class TestSymmetryDetection:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_generators_are_true_automorphisms_and_orbits_refine(self, seed):
+        m = random_symmetric_model(seed)
+        n = len(m.variables)
+        true_auts = [
+            p for p in itertools.permutations(range(n)) if is_model_automorphism(m, p)
+        ]
+        true_orbit_of = {}
+        for orbit in orbits_of(n, true_auts):
+            for j in orbit:
+                true_orbit_of[j] = tuple(orbit)
+        info = find_generators(m)
+        for gen in info.generators:
+            assert is_model_automorphism(m, gen), (seed, gen)
+        for orbit in info.orbits:
+            # every found orbit sits inside one true orbit
+            assert {true_orbit_of[j] for j in orbit} and len(
+                {true_orbit_of[j] for j in orbit}
+            ) == 1, (seed, orbit)
+
+    def test_identical_variables_are_detected(self):
+        m = Model("twins")
+        for i in range(3):
+            m.add_variable(f"x{i}", VarType.BINARY, obj=1.0)
+        m.add_constraint({0: 1.0, 1: 1.0, 2: 1.0}, lhs=1.0, rhs=3.0)
+        info = find_generators(m)
+        assert info.nontrivial
+        assert sorted(map(sorted, info.orbits)) == [[0, 1, 2]]
+
+    def test_detection_is_deterministic(self):
+        g = hypercube(dim=3, parity_terminals=True, perturbed=False, seed=0)
+        m = stp_flow_mip(g).model
+        a, b = find_generators(m), find_generators(m)
+        assert a.generators == b.generators and a.orbits == b.orbits
+        assert a.nontrivial  # the parity hypercube really is symmetric
+
+
+ZOO_STP = tiny_zoo(seeds=(0,), kind="stp")
+ZOO_MISDP = tiny_zoo(seeds=(0,), kind="misdp")
+
+
+@pytest.mark.slow
+class TestModernDifferential:
+    @pytest.mark.parametrize("gi", ZOO_STP, ids=lambda gi: gi.name)
+    def test_steiner_solver_modern_matches_brute_force(self, gi):
+        optimum = brute_force_steiner(gi.instance)
+        sol = SteinerSolver(gi.instance.copy(), params=MODERN, seed=3).solve()
+        assert math.isclose(sol.cost, optimum, rel_tol=1e-9, abs_tol=1e-6), gi.name
+
+    @pytest.mark.parametrize(
+        "gi",
+        [gi for gi in ZOO_STP if gi.name.startswith(("grid_holes", "orlib_random"))],
+        ids=lambda gi: gi.name,
+    )
+    def test_flow_mip_modern_matches_brute_force_and_certifies(self, gi):
+        optimum = brute_force_steiner(gi.instance) + gi.instance.fixed_cost
+        result, edges, _solver = solve_stp_flow(gi.instance, MODERN)
+        assert math.isclose(result.objective, optimum, rel_tol=1e-9, abs_tol=1e-6)
+        assert check_steiner_tree(gi.instance, edges, result.objective).ok, gi.name
+
+    @pytest.mark.parametrize("gi", ZOO_MISDP, ids=lambda gi: gi.name)
+    @pytest.mark.parametrize("approach", ["sdp", "lp"])
+    def test_misdp_modern_matches_brute_force(self, gi, approach):
+        ref = brute_force_misdp(gi.instance)
+        assert ref is not None
+        sol = MISDPSolver(gi.instance, params=MODERN, approach=approach, seed=3).solve(
+            node_limit=5000
+        )
+        assert math.isclose(sol.objective, ref[0], rel_tol=1e-4, abs_tol=1e-4), gi.name
+
+
+def traced_flow_solve(graph, params):
+    fm = stp_flow_mip(graph)
+    solver = make_mip_solver(fm.model, params)
+    solver.tracer = Tracer(capacity=100000)
+    result = solver.solve()
+    edges = fm.tree_edges(result.best_solution.x)
+    return result, edges, solver
+
+
+@pytest.mark.slow
+class TestModernIntegration:
+    def test_symmetry_shrinks_the_parity_hypercube_tree(self):
+        g = hypercube(dim=3, parity_terminals=True, perturbed=False, seed=0)
+        optimum = brute_force_steiner(g) + g.fixed_cost
+        off, off_edges, _ = traced_flow_solve(g, ParamSet())
+        on, on_edges, on_solver = traced_flow_solve(g, MODERN)
+        assert math.isclose(off.objective, optimum, rel_tol=1e-9)
+        assert math.isclose(on.objective, optimum, rel_tol=1e-9)
+        assert on.nodes_processed < off.nodes_processed
+        assert check_steiner_tree(g, on_edges, on.objective).ok
+        report = audit_cip_trace(on_solver.tracer, on)
+        assert report.ok, report.summary()
+
+    def test_forced_restart_is_audited_and_certified(self):
+        g = hypercube(dim=3, parity_terminals=True, perturbed=False, seed=0)
+        optimum = brute_force_steiner(g) + g.fixed_cost
+        params = MODERN.with_changes(restart_min_nodes=10, restart_node_factor=1.5)
+        result, edges, solver = traced_flow_solve(g, params)
+        assert int(result.stats.extra.get("restarts", 0)) >= 1
+        assert math.isclose(result.objective, optimum, rel_tol=1e-9)
+        assert check_steiner_tree(g, edges, result.objective).ok
+        report = audit_cip_trace(solver.tracer, result)
+        assert report.ok, report.summary()
+        accounting = next(c for c in report.checks if c.name == "restart_accounting")
+        assert accounting.ok

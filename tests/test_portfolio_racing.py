@@ -36,14 +36,27 @@ ORLIB_UNIT = ("orlib_random", {"n": 60, "m": 150, "n_terminals": 12, "max_cost":
 
 
 class RecordingHeuristic(Heuristic):
-    """No-op heuristic that records how often the kernel invoked it."""
+    """No-op heuristic that records how often the kernel invoked it.
 
-    def __init__(self, name: str) -> None:
-        self.name = name
+    Subclasses declare ``name`` as a class attribute so the plugin-name
+    catalog knows them at class-definition time — ``ParamSet`` rejects
+    whitelist names it has never seen (the typo guard under test in
+    ``test_unknown_portfolio_name_rejected``).
+    """
+
+    def __init__(self) -> None:
         self.calls = 0
 
     def run(self, solver, node, x) -> None:
         self.calls += 1
+
+
+class RecA(RecordingHeuristic):
+    name = "rec_a"
+
+
+class RecB(RecordingHeuristic):
+    name = "rec_b"
 
 
 class CrashingHeuristic(Heuristic):
@@ -100,7 +113,7 @@ class TestPortfolioWhitelist:
 
     def test_whitelist_filters_heuristics(self):
         solver = self._prepared(("rec_a",))
-        rec_a, rec_b = RecordingHeuristic("rec_a"), RecordingHeuristic("rec_b")
+        rec_a, rec_b = RecA(), RecB()
         solver.cip.heuristics.extend([rec_a, rec_b])
         solver.cip.step()
         assert rec_a.calls > 0, "whitelisted heuristic never ran"
@@ -108,14 +121,14 @@ class TestPortfolioWhitelist:
 
     def test_none_means_every_heuristic(self):
         solver = self._prepared(None)
-        rec_a, rec_b = RecordingHeuristic("rec_a"), RecordingHeuristic("rec_b")
+        rec_a, rec_b = RecA(), RecB()
         solver.cip.heuristics.extend([rec_a, rec_b])
         solver.cip.step()
         assert rec_a.calls > 0 and rec_b.calls > 0
 
     def test_empty_portfolio_disables_all(self):
         solver = self._prepared(())
-        rec = RecordingHeuristic("rec_a")
+        rec = RecA()
         solver.cip.heuristics.append(rec)
         solver.cip.step()
         assert rec.calls == 0
@@ -126,6 +139,14 @@ class TestPortfolioWhitelist:
         q = ParamSet(**wire)
         assert q.heuristic_portfolio == p.heuristic_portfolio
         assert isinstance(q.heuristic_portfolio, tuple)
+
+    def test_unknown_portfolio_name_rejected(self):
+        """A typoed portfolio entry fails at ParamSet construction, not as
+        a silently-empty lane at solve time."""
+        from repro.exceptions import ModelError
+
+        with pytest.raises(ModelError, match="no_such_heuristic"):
+            ParamSet(heuristic_portfolio=("no_such_heuristic",))
 
 
 def _two_lane_race(order: tuple[str, str], instance):

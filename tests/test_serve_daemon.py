@@ -287,6 +287,54 @@ def test_fingerprint_cache_hits_across_request_spellings(tmp_path):
             assert literal["outcome"]["from_cache"] is True
 
 
+def _relabeled(graph, seed):
+    """Isomorphic copy: permuted vertex labels, shuffled edge order."""
+    import random
+
+    from repro.steiner.graph import SteinerGraph
+
+    rng = random.Random(seed)
+    perm = list(range(graph.n))
+    rng.shuffle(perm)
+    twin = SteinerGraph.create(graph.n)
+    eids = list(graph.alive_edges())
+    rng.shuffle(eids)
+    for eid in eids:
+        u, v = graph.edge_endpoints(eid)
+        twin.add_edge(perm[u], perm[v], graph.edge_cost(eid))
+    for t in graph.terminals:
+        twin.set_terminal(perm[int(t)])
+    twin.fixed_cost = graph.fixed_cost
+    return twin
+
+
+def test_relabeled_isomorphic_instance_hits_cache_with_translated_solution(tmp_path):
+    """Canonical fingerprints make the cache relabeling-invariant: an
+    isomorphic copy of a solved instance is served from cache, with the
+    stored tree translated into the copy's own edge ids."""
+    from repro.steiner.instances import grid_instance
+    from repro.steiner.stp_io import write_stp
+    from repro.verify.steiner import check_steiner_tree
+
+    graph = grid_instance(**EASY["params"])
+    twin = _relabeled(graph, seed=7)
+    with daemon_in_thread(config(tmp_path)) as daemon:
+        with ServeClient(port=daemon.port) as client:
+            first = client.submit(stp(payload={"stp": write_stp(graph)}))
+            done = client.wait(first["job_id"], timeout=60)
+            assert done["state"] == "succeeded"
+            hit = client.submit(stp(payload={"stp": write_stp(twin)}))
+            assert hit["state"] == "succeeded"
+            assert hit["outcome"]["from_cache"] is True
+            assert client.stats()["serve"]["cache_hits"] == 1
+            assert daemon.stats.cache_translation_failed == 0
+            # the served tree must be valid on the *twin's* edge ids
+            outcome = daemon.jobs[hit["job_id"]].outcome
+            report = check_steiner_tree(twin, outcome.solution, outcome.objective)
+            assert report.ok, report
+            assert outcome.objective == pytest.approx(done["outcome"]["objective"])
+
+
 def test_stream_yields_events_then_terminal_view(tmp_path):
     with daemon_in_thread(config(tmp_path)) as daemon:
         with ServeClient(port=daemon.port) as client:
